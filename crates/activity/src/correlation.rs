@@ -1,0 +1,190 @@
+//! Pairwise correlation bookkeeping for correlated signals (eqs. 7–9).
+//!
+//! The MINPOWER decomposition with correlated inputs needs, for the current
+//! set of merge candidates, the 1-probability of every candidate and the
+//! pairwise joint probabilities. When two candidates `i`, `j` are merged
+//! into an AND node `A`, the joint probability between `A` and every other
+//! candidate `k` is estimated by the symmetric average of eq. (9); an exact
+//! BDD-backed alternative is provided by
+//! [`crate::prob::NetworkBdds::joint`].
+
+/// Probabilities of a set of signals: `p[i] = P(sig_i = 1)` and
+/// `joint[i][j] = P(sig_i = 1 ∧ sig_j = 1)`.
+#[derive(Debug, Clone)]
+pub struct CorrelationMatrix {
+    p: Vec<f64>,
+    joint: Vec<Vec<f64>>,
+}
+
+impl CorrelationMatrix {
+    /// Build for mutually independent signals (`joint = p_i·p_j`).
+    pub fn independent(p: &[f64]) -> CorrelationMatrix {
+        let n = p.len();
+        let mut joint = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                joint[i][j] = if i == j { p[i] } else { p[i] * p[j] };
+            }
+        }
+        CorrelationMatrix { p: p.to_vec(), joint }
+    }
+
+    /// Build from explicit probabilities and joint matrix.
+    ///
+    /// # Panics
+    /// Panics if `joint` is not a square `p.len()`-sized matrix.
+    pub fn new(p: Vec<f64>, joint: Vec<Vec<f64>>) -> CorrelationMatrix {
+        let n = p.len();
+        assert_eq!(joint.len(), n, "joint matrix row count mismatch");
+        for row in &joint {
+            assert_eq!(row.len(), n, "joint matrix column count mismatch");
+        }
+        CorrelationMatrix { p, joint }
+    }
+
+    /// Number of tracked signals.
+    pub fn len(&self) -> usize {
+        self.p.len()
+    }
+
+    /// True when no signals are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.p.is_empty()
+    }
+
+    /// `P(sig_i = 1)`.
+    pub fn p_one(&self, i: usize) -> f64 {
+        self.p[i]
+    }
+
+    /// `P(sig_i = 1 ∧ sig_j = 1)`.
+    pub fn joint(&self, i: usize, j: usize) -> f64 {
+        self.joint[i][j]
+    }
+
+    /// Conditional `P(sig_i = 1 | sig_j = 1)`; falls back to `p_i` when
+    /// `P(sig_j = 1) = 0`.
+    pub fn conditional(&self, i: usize, j: usize) -> f64 {
+        if self.p[j] <= 0.0 {
+            self.p[i]
+        } else {
+            (self.joint[i][j] / self.p[j]).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Probability that the AND of signals `i` and `j` is 1, via eq. (7):
+    /// `W_o = w_i · w_{j|i}` — which equals the joint probability.
+    pub fn and_probability(&self, i: usize, j: usize) -> f64 {
+        self.joint[i][j]
+    }
+
+    /// Merge signals `i` and `j` into a new AND signal appended at the end,
+    /// removing `i` and `j`. The joint probability between the new signal
+    /// `A = i∧j` and each remaining signal `k` is estimated with the
+    /// symmetric heuristic of eq. (9):
+    ///
+    /// ```text
+    /// W_Ak = ( (w_{k|i}+w_{k|j})·w_ij/2
+    ///        + (w_{j|k}+w_{j|i})·w_ik/2
+    ///        + (w_{i|j}+w_{i|k})·w_jk/2 ) / 3
+    /// ```
+    ///
+    /// Returns the index mapping from old indices to new indices
+    /// (`None` for the removed pair; the merged signal is the last index).
+    ///
+    /// # Panics
+    /// Panics if `i == j` or either index is out of range.
+    pub fn merge_and(&mut self, i: usize, j: usize) -> Vec<Option<usize>> {
+        assert_ne!(i, j, "cannot merge a signal with itself");
+        let n = self.len();
+        assert!(i < n && j < n, "merge index out of range");
+        let p_a = self.joint[i][j]; // P(i ∧ j)
+
+        let keep: Vec<usize> = (0..n).filter(|&k| k != i && k != j).collect();
+        let mut new_p: Vec<f64> = keep.iter().map(|&k| self.p[k]).collect();
+        new_p.push(p_a);
+        let m = new_p.len();
+        let mut new_joint = vec![vec![0.0; m]; m];
+        for (a, &ka) in keep.iter().enumerate() {
+            for (b, &kb) in keep.iter().enumerate() {
+                new_joint[a][b] = self.joint[ka][kb];
+            }
+        }
+        // eq. (9) estimate of P(A ∧ k) for each survivor k.
+        for (a, &k) in keep.iter().enumerate() {
+            let w_ij = self.joint[i][j];
+            let w_ik = self.joint[i][k];
+            let w_jk = self.joint[j][k];
+            let term1 = (self.conditional(k, i) + self.conditional(k, j)) * w_ij / 2.0;
+            let term2 = (self.conditional(j, k) + self.conditional(j, i)) * w_ik / 2.0;
+            let term3 = (self.conditional(i, j) + self.conditional(i, k)) * w_jk / 2.0;
+            let w_ak = ((term1 + term2 + term3) / 3.0).clamp(0.0, new_p[a].min(p_a));
+            new_joint[a][m - 1] = w_ak;
+            new_joint[m - 1][a] = w_ak;
+        }
+        new_joint[m - 1][m - 1] = p_a;
+
+        let mut mapping = vec![None; n];
+        for (new_idx, &old) in keep.iter().enumerate() {
+            mapping[old] = Some(new_idx);
+        }
+        self.p = new_p;
+        self.joint = new_joint;
+        mapping
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_joints_are_products() {
+        let m = CorrelationMatrix::independent(&[0.3, 0.4, 0.5]);
+        assert!((m.joint(0, 1) - 0.12).abs() < 1e-12);
+        assert!((m.conditional(0, 1) - 0.3).abs() < 1e-12);
+        assert!((m.and_probability(1, 2) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_independent_reduces_to_products() {
+        // For independent signals, eq. (9) must reproduce the exact
+        // independent answer P(A∧k) = p_i·p_j·p_k.
+        let mut m = CorrelationMatrix::independent(&[0.3, 0.4, 0.5]);
+        let mapping = m.merge_and(0, 1);
+        assert_eq!(m.len(), 2);
+        assert_eq!(mapping, vec![None, None, Some(0)]);
+        let a = 1; // merged signal index
+        assert!((m.p_one(a) - 0.12).abs() < 1e-12);
+        assert!((m.joint(0, a) - 0.3 * 0.4 * 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_respects_bounds_with_correlation() {
+        // Perfectly correlated signals: i == j == k.
+        let p = vec![0.5, 0.5, 0.5];
+        let joint = vec![vec![0.5; 3]; 3];
+        let mut m = CorrelationMatrix::new(p, joint);
+        m.merge_and(0, 1);
+        let a = 1;
+        assert!((m.p_one(a) - 0.5).abs() < 1e-12);
+        // P(A∧k) must stay within [0, min(P(A), P(k))].
+        let w = m.joint(0, a);
+        assert!(w >= 0.0 && w <= 0.5 + 1e-12);
+        // For identical signals the estimate is exact: P(A∧k) = 0.5.
+        assert!((w - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_handles_zero_probability() {
+        let m = CorrelationMatrix::new(vec![0.4, 0.0], vec![vec![0.4, 0.0], vec![0.0, 0.0]]);
+        assert!((m.conditional(0, 1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_same_index_panics() {
+        let mut m = CorrelationMatrix::independent(&[0.3, 0.4]);
+        m.merge_and(1, 1);
+    }
+}

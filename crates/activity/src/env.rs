@@ -1,0 +1,60 @@
+//! Electrical environment converting switching activity into average power.
+
+/// Supply voltage, clock and capacitance conventions used for power numbers.
+///
+/// The paper's experimental setup is 5 V, 20 MHz, with loads expressed in
+/// library (genlib) load units. `cap_unit_farads` maps one genlib load unit
+/// to Farads; the default (20 fF) puts mapped-network powers in the same
+/// hundreds-of-µW range the paper reports for lib2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerEnv {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Clock cycle time in seconds.
+    pub t_cycle: f64,
+    /// Farads per genlib load unit.
+    pub cap_unit_farads: f64,
+}
+
+impl Default for PowerEnv {
+    fn default() -> Self {
+        PowerEnv { vdd: 5.0, t_cycle: 1.0 / 20.0e6, cap_unit_farads: 20.0e-15 }
+    }
+}
+
+impl PowerEnv {
+    /// The paper's environment: 5 V supply, 20 MHz clock.
+    pub fn new() -> PowerEnv {
+        PowerEnv::default()
+    }
+
+    /// Average power in **µW** dissipated charging/discharging a load of
+    /// `cap_units` genlib load units with `switching` expected transitions
+    /// per cycle (eq. 1: `P = 0.5·C·Vdd²/T·E`).
+    pub fn average_power_uw(&self, cap_units: f64, switching: f64) -> f64 {
+        let c = cap_units * self.cap_unit_farads;
+        0.5 * c * self.vdd * self.vdd / self.t_cycle * switching * 1.0e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let env = PowerEnv::new();
+        assert!((env.vdd - 5.0).abs() < 1e-12);
+        assert!((env.t_cycle - 50.0e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn power_formula() {
+        let env = PowerEnv { vdd: 5.0, t_cycle: 50e-9, cap_unit_farads: 20e-15 };
+        // 0.5 · 20fF · 25V² / 50ns · 1.0 = 5 µW per load unit at E=1.
+        let p = env.average_power_uw(1.0, 1.0);
+        assert!((p - 5.0).abs() < 1e-9);
+        // Linear in both C and E.
+        assert!((env.average_power_uw(2.0, 0.5) - 5.0).abs() < 1e-9);
+    }
+}

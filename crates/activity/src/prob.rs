@@ -1,0 +1,205 @@
+//! Network-wide signal probability and switching activity via global BDDs.
+
+use crate::transition::TransitionModel;
+use bdd::{Bdd, BddManager};
+use netlist::{Network, NodeId};
+
+/// Global BDDs for every node of a network, over the primary inputs.
+///
+/// Holds the manager so that exact joint/conditional probabilities between
+/// arbitrary internal signals can be queried (used for correlation-aware
+/// decomposition and for validating the heuristic of eq. 9).
+#[derive(Debug)]
+pub struct NetworkBdds {
+    manager: BddManager,
+    node_bdd: Vec<Option<Bdd>>,
+    pi_probs: Vec<f64>,
+}
+
+impl NetworkBdds {
+    /// Build global BDDs for all nodes. `pi_probs[i]` is `P(input_i = 1)` in
+    /// [`Network::inputs`] order.
+    ///
+    /// # Panics
+    /// Panics if `pi_probs.len()` differs from the input count or the
+    /// network is cyclic.
+    pub fn build(net: &Network, pi_probs: &[f64]) -> NetworkBdds {
+        assert_eq!(pi_probs.len(), net.inputs().len(), "PI probability count mismatch");
+        let mut manager = BddManager::new(net.inputs().len());
+        let mut node_bdd: Vec<Option<Bdd>> = vec![None; net.arena_len()];
+        for (i, &pi) in net.inputs().iter().enumerate() {
+            node_bdd[pi.index()] = Some(manager.var(i));
+        }
+        for id in net.topo_order().expect("network must be acyclic") {
+            let node = net.node(id);
+            let Some(sop) = node.sop() else { continue };
+            let fanin_bdds: Vec<Bdd> = node
+                .fanins()
+                .iter()
+                .map(|f| node_bdd[f.index()].expect("fanin processed before node"))
+                .collect();
+            let mut f = Bdd::ZERO;
+            for cube in sop.cubes() {
+                let mut c = Bdd::ONE;
+                for (pos, lit) in cube.bound_lits() {
+                    let v = fanin_bdds[pos];
+                    let v = match lit {
+                        netlist::Lit::Pos => v,
+                        netlist::Lit::Neg => manager.not(v),
+                        netlist::Lit::Free => unreachable!(),
+                    };
+                    c = manager.and(c, v);
+                }
+                f = manager.or(f, c);
+            }
+            node_bdd[id.index()] = Some(f);
+        }
+        NetworkBdds { manager, node_bdd, pi_probs: pi_probs.to_vec() }
+    }
+
+    /// The BDD of a node's global function.
+    ///
+    /// # Panics
+    /// Panics if the node has no BDD (removed node).
+    pub fn bdd(&self, node: NodeId) -> Bdd {
+        self.node_bdd[node.index()].expect("node has a BDD")
+    }
+
+    /// Exact `P(node = 1)`.
+    pub fn p_one(&self, node: NodeId) -> f64 {
+        self.manager.probability(self.bdd(node), &self.pi_probs)
+    }
+
+    /// Exact joint probability `P(a = 1 ∧ b = 1)`.
+    pub fn joint(&mut self, a: NodeId, b: NodeId) -> f64 {
+        let (fa, fb) = (self.bdd(a), self.bdd(b));
+        self.manager.joint_probability(fa, fb, &self.pi_probs.clone())
+    }
+
+    /// Exact conditional probability `P(a = 1 | b = 1)`; `None` when
+    /// `P(b = 1) = 0`.
+    pub fn conditional(&mut self, a: NodeId, b: NodeId) -> Option<f64> {
+        let (fa, fb) = (self.bdd(a), self.bdd(b));
+        self.manager.conditional_probability(fa, fb, &self.pi_probs.clone())
+    }
+
+    /// Underlying manager (e.g. for size statistics).
+    pub fn manager(&self) -> &BddManager {
+        &self.manager
+    }
+}
+
+/// Per-node signal probability and switching activity under a given
+/// [`TransitionModel`], indexed by [`NodeId`].
+#[derive(Debug, Clone)]
+pub struct ActivityMap {
+    p_one: Vec<f64>,
+    switching: Vec<f64>,
+    model: TransitionModel,
+}
+
+impl ActivityMap {
+    /// `P(node = 1)`.
+    pub fn p_one(&self, node: NodeId) -> f64 {
+        self.p_one[node.index()]
+    }
+
+    /// Expected transitions per cycle at the node output.
+    pub fn switching(&self, node: NodeId) -> f64 {
+        self.switching[node.index()]
+    }
+
+    /// The transition model the activities were computed under.
+    pub fn model(&self) -> TransitionModel {
+        self.model
+    }
+
+    /// Sum of switching over the given nodes (the MINPOWER cost of §2).
+    pub fn total_switching<I: IntoIterator<Item = NodeId>>(&self, nodes: I) -> f64 {
+        nodes.into_iter().map(|n| self.switching(n)).sum()
+    }
+
+    /// Construct directly from a probability vector indexed by
+    /// [`NodeId::index`] (useful for tests and synthetic scenarios).
+    pub fn from_p_one(p_one: Vec<f64>, model: TransitionModel) -> ActivityMap {
+        let switching = p_one.iter().map(|&p| model.switching(p)).collect();
+        ActivityMap { p_one, switching, model }
+    }
+}
+
+/// Compute exact zero-delay activities for every node of `net`.
+///
+/// `pi_probs[i]` is `P(input_i = 1)`; inputs are assumed mutually
+/// independent (the paper's default, §1.4).
+pub fn analyze(net: &Network, pi_probs: &[f64], model: TransitionModel) -> ActivityMap {
+    let bdds = NetworkBdds::build(net, pi_probs);
+    let mut p_one = vec![0.0; net.arena_len()];
+    for id in net.node_ids() {
+        p_one[id.index()] = bdds.p_one(id);
+    }
+    ActivityMap::from_p_one(p_one, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::parse_blif;
+
+    fn reconv() -> Network {
+        // f = a·b + a·c — reconvergent fanout of `a`.
+        parse_blif(
+            ".model r\n.inputs a b c\n.outputs f\n.names a b x\n11 1\n\
+             .names a c y\n11 1\n.names x y f\n1- 1\n-1 1\n.end\n",
+        )
+        .unwrap()
+        .network
+    }
+
+    #[test]
+    fn exact_probability_with_reconvergence() {
+        let net = reconv();
+        let act = analyze(&net, &[0.5, 0.5, 0.5], TransitionModel::StaticCmos);
+        let f = net.find("f").unwrap();
+        // P(f) = P(a)·P(b+c) = 0.5·0.75
+        assert!((act.p_one(f) - 0.375).abs() < 1e-12);
+        assert!((act.switching(f) - 2.0 * 0.375 * 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn domino_models() {
+        let net = reconv();
+        let p = analyze(&net, &[0.5, 0.5, 0.5], TransitionModel::DominoP);
+        let n = analyze(&net, &[0.5, 0.5, 0.5], TransitionModel::DominoN);
+        let f = net.find("f").unwrap();
+        assert!((p.switching(f) - 0.375).abs() < 1e-12);
+        assert!((n.switching(f) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_and_conditional() {
+        let net = reconv();
+        let mut bdds = NetworkBdds::build(&net, &[0.5, 0.5, 0.5]);
+        let x = net.find("x").unwrap();
+        let y = net.find("y").unwrap();
+        // P(x∧y) = P(a·b·c) = 0.125; P(x|y) = 0.125/0.25 = 0.5.
+        assert!((bdds.joint(x, y) - 0.125).abs() < 1e-12);
+        assert!((bdds.conditional(x, y).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pi_probability_is_identity() {
+        let net = reconv();
+        let act = analyze(&net, &[0.2, 0.7, 0.9], TransitionModel::StaticCmos);
+        let a = net.find("a").unwrap();
+        assert!((act.p_one(a) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_switching_sums() {
+        let net = reconv();
+        let act = analyze(&net, &[0.5, 0.5, 0.5], TransitionModel::DominoP);
+        let total = act.total_switching(net.logic_ids());
+        // x: 0.25, y: 0.25, f: 0.375
+        assert!((total - 0.875).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,232 @@
+//! Fast structural estimators from the paper's prior-work section (§1.3):
+//!
+//! * [`propagate_independent`] — Cirit-style signal-probability
+//!   propagation: each node's output probability is computed exactly from
+//!   its *local* function assuming its fanins are independent. Reconvergent
+//!   fanout correlations are ignored, so the result is an approximation;
+//!   the exact reference is [`crate::prob::analyze`] (global BDDs).
+//! * [`transition_density`] — Najm's transition-density propagation:
+//!   `D(y) = Σ_i P(∂f/∂x_i) · D(x_i)`, with the Boolean-difference
+//!   probabilities evaluated exactly on the local function and fanin
+//!   probabilities from the independent propagation.
+//!
+//! These run in time linear in the network (no BDDs) and are useful both
+//! as scalable estimators and as documented baselines for how much the
+//! exact analysis matters.
+
+use netlist::{Network, Sop};
+
+/// Maximum local support for the exact per-node enumerations. Optimized
+/// networks stay far below this; wider nodes fall back to 0.5.
+const MAX_LOCAL_SUPPORT: usize = 20;
+
+/// Signal probabilities by local propagation under the fanin-independence
+/// assumption. Returns `P(node = 1)` indexed by [`netlist::NodeId::index`].
+///
+/// # Panics
+/// Panics if `pi_probs.len()` differs from the input count or the network
+/// is cyclic.
+pub fn propagate_independent(net: &Network, pi_probs: &[f64]) -> Vec<f64> {
+    assert_eq!(pi_probs.len(), net.inputs().len(), "PI probability count mismatch");
+    let mut p = vec![0.0f64; net.arena_len()];
+    for (i, &pi) in net.inputs().iter().enumerate() {
+        p[pi.index()] = pi_probs[i];
+    }
+    for id in net.topo_order().expect("acyclic") {
+        let node = net.node(id);
+        let Some(sop) = node.sop() else { continue };
+        let q: Vec<f64> = node.fanins().iter().map(|f| p[f.index()]).collect();
+        p[id.index()] = sop_probability(sop, &q);
+    }
+    p
+}
+
+/// Exact probability of a SOP over independent inputs with the given
+/// 1-probabilities, by Shannon expansion on the cover.
+pub fn sop_probability(sop: &Sop, probs: &[f64]) -> f64 {
+    assert_eq!(probs.len(), sop.width(), "probability per variable required");
+    if sop.is_zero() {
+        return 0.0;
+    }
+    if sop.has_tautology_cube() {
+        return 1.0;
+    }
+    if sop.width() > MAX_LOCAL_SUPPORT {
+        return 0.5;
+    }
+    let Some(v) = sop.binate_split_var().or_else(|| sop.support().first().copied()) else {
+        return 0.0;
+    };
+    let hi = sop.cofactor(v, true);
+    let lo = sop.cofactor(v, false);
+    probs[v] * sop_probability(&hi, probs) + (1.0 - probs[v]) * sop_probability(&lo, probs)
+}
+
+/// Najm transition densities (average transitions per cycle) at every
+/// node, given densities and probabilities at the primary inputs.
+///
+/// For a primary input with temporally independent values and
+/// `P(pi=1) = p`, the density is `2·p·(1−p)`; callers may pass measured or
+/// specified densities instead.
+///
+/// # Panics
+/// Panics on length mismatches or a cyclic network.
+pub fn transition_density(
+    net: &Network,
+    pi_probs: &[f64],
+    pi_densities: &[f64],
+) -> Vec<f64> {
+    assert_eq!(pi_densities.len(), net.inputs().len(), "PI density count mismatch");
+    let p = propagate_independent(net, pi_probs);
+    let mut d = vec![0.0f64; net.arena_len()];
+    for (i, &pi) in net.inputs().iter().enumerate() {
+        d[pi.index()] = pi_densities[i];
+    }
+    for id in net.topo_order().expect("acyclic") {
+        let node = net.node(id);
+        let Some(sop) = node.sop() else { continue };
+        let fanins = node.fanins();
+        let q: Vec<f64> = fanins.iter().map(|f| p[f.index()]).collect();
+        let mut density = 0.0;
+        for (i, f) in fanins.iter().enumerate() {
+            density += boolean_difference_probability(sop, i, &q) * d[f.index()];
+        }
+        d[id.index()] = density;
+    }
+    d
+}
+
+/// `P(∂f/∂x_i = 1)` — the probability that toggling input `i` toggles the
+/// output — computed exactly over independent inputs.
+pub fn boolean_difference_probability(sop: &Sop, var: usize, probs: &[f64]) -> f64 {
+    assert!(var < sop.width(), "variable out of range");
+    let w = sop.width();
+    if w > MAX_LOCAL_SUPPORT {
+        return 0.5;
+    }
+    // Enumerate the other variables; weight by their probabilities.
+    let others: Vec<usize> = (0..w).filter(|&i| i != var).collect();
+    let mut total = 0.0;
+    for bits in 0..(1u64 << others.len()) {
+        let mut assignment = vec![false; w];
+        let mut weight = 1.0;
+        for (k, &o) in others.iter().enumerate() {
+            let v = bits >> k & 1 == 1;
+            assignment[o] = v;
+            weight *= if v { probs[o] } else { 1.0 - probs[o] };
+        }
+        if weight == 0.0 {
+            continue;
+        }
+        assignment[var] = true;
+        let hi = sop.eval(&assignment);
+        assignment[var] = false;
+        let lo = sop.eval(&assignment);
+        if hi != lo {
+            total += weight;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::analyze;
+    use crate::transition::TransitionModel;
+    use netlist::parse_blif;
+
+    #[test]
+    fn tree_circuits_match_exact_analysis() {
+        // No reconvergence: independent propagation is exact.
+        let net = parse_blif(
+            ".model t\n.inputs a b c d\n.outputs f\n.names a b x\n11 1\n\
+             .names c d y\n1- 1\n-1 1\n.names x y f\n11 1\n.end\n",
+        )
+        .unwrap()
+        .network;
+        let probs = [0.3, 0.6, 0.2, 0.8];
+        let exact = analyze(&net, &probs, TransitionModel::StaticCmos);
+        let fast = propagate_independent(&net, &probs);
+        for id in net.node_ids() {
+            assert!(
+                (exact.p_one(id) - fast[id.index()]).abs() < 1e-12,
+                "tree node {} differs",
+                net.node(id).name()
+            );
+        }
+    }
+
+    #[test]
+    fn reconvergence_makes_naive_propagation_wrong() {
+        // f = a·b + a·c: naive propagation treats the two AND outputs as
+        // independent at the OR and underestimates P(f).
+        let net = parse_blif(
+            ".model r\n.inputs a b c\n.outputs f\n.names a b x\n11 1\n\
+             .names a c y\n11 1\n.names x y f\n1- 1\n-1 1\n.end\n",
+        )
+        .unwrap()
+        .network;
+        let probs = [0.5; 3];
+        let exact = analyze(&net, &probs, TransitionModel::StaticCmos);
+        let fast = propagate_independent(&net, &probs);
+        let f = net.find("f").unwrap();
+        let err = (exact.p_one(f) - fast[f.index()]).abs();
+        assert!(err > 0.01, "naive propagation should be visibly wrong here ({err})");
+        // exact is 0.375; naive gives 0.25+0.25-0.0625 = 0.4375
+        assert!((fast[f.index()] - 0.4375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boolean_difference_of_and() {
+        // ∂(a·b)/∂a = b, so P = P(b).
+        let sop = Sop::parse(2, &["11"]).unwrap();
+        let p = boolean_difference_probability(&sop, 0, &[0.3, 0.7]);
+        assert!((p - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boolean_difference_of_xor_is_one() {
+        let sop = Sop::parse(2, &["10", "01"]).unwrap();
+        for v in 0..2 {
+            let p = boolean_difference_probability(&sop, v, &[0.3, 0.7]);
+            assert!((p - 1.0).abs() < 1e-12, "xor always sensitizes");
+        }
+    }
+
+    #[test]
+    fn density_of_buffer_passes_through() {
+        let net = parse_blif(".model b\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n")
+            .unwrap()
+            .network;
+        let d = transition_density(&net, &[0.5], &[0.42]);
+        let f = net.find("f").unwrap();
+        assert!((d[f.index()] - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn najm_density_overestimates_and_gate() {
+        // Known property: density propagation ignores simultaneous input
+        // transitions, overestimating an AND of independent inputs.
+        let net = parse_blif(".model a\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n")
+            .unwrap()
+            .network;
+        let probs = [0.5, 0.5];
+        let dens: Vec<f64> = probs.iter().map(|&p| 2.0 * p * (1.0 - p)).collect();
+        let d = transition_density(&net, &probs, &dens);
+        let f = net.find("f").unwrap();
+        let exact = {
+            let a = analyze(&net, &probs, TransitionModel::StaticCmos);
+            a.switching(f)
+        };
+        assert!(d[f.index()] > exact, "najm {} vs exact {}", d[f.index()], exact);
+        assert!((d[f.index()] - 0.5).abs() < 1e-12);
+        assert!((exact - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sop_probability_constants() {
+        assert_eq!(sop_probability(&Sop::zero(3), &[0.5; 3]), 0.0);
+        assert_eq!(sop_probability(&Sop::one(3), &[0.5; 3]), 1.0);
+    }
+}

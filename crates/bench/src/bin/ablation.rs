@@ -1,0 +1,118 @@
+//! Ablation studies for the design choices the paper argues for:
+//!
+//! 1. **Method 1 vs Method 2** power bookkeeping during mapping (§3.1):
+//!    the paper adopts Method 1 because the unknown-load term of Method 2
+//!    distorts the DAG fanout heuristic.
+//! 2. **Fanout-count cost division** during DAG mapping (§3.3): dividing a
+//!    multi-fanout input's accumulated cost by its fanout count favours
+//!    solutions that preserve shared nodes.
+//! 3. **ε-pruning** of the power-delay curves (§3.1): coarser ε trades
+//!    mapping quality for runtime.
+//!
+//! Usage: `cargo run --release -p lowpower-bench --bin ablation [circuits]`
+
+use activity::analyze;
+use genlib::builtin::lib2_like;
+use lowpower::flow::{optimize, run_method, FlowConfig, Method};
+use lowpower_core::decomp::{decompose_network, DecompOptions};
+use lowpower_core::map::{map_network, MapOptions, PowerMethod, SubjectAig};
+use lowpower_core::power::{evaluate, simulate_glitch_power};
+use rand::SeedableRng;
+use std::time::Instant;
+
+struct Variant {
+    label: &'static str,
+    power_method: PowerMethod,
+    fanout_division: bool,
+    epsilon: f64,
+}
+
+const VARIANTS: &[Variant] = &[
+    Variant {
+        label: "method1 +fanout-div eps=0.05 (paper)",
+        power_method: PowerMethod::InputLoads,
+        fanout_division: true,
+        epsilon: 0.05,
+    },
+    Variant {
+        label: "method2 +fanout-div eps=0.05",
+        power_method: PowerMethod::OutputLoad,
+        fanout_division: true,
+        epsilon: 0.05,
+    },
+    Variant {
+        label: "method1 -fanout-div eps=0.05",
+        power_method: PowerMethod::InputLoads,
+        fanout_division: false,
+        epsilon: 0.05,
+    },
+    Variant {
+        label: "method1 +fanout-div eps=0.5",
+        power_method: PowerMethod::InputLoads,
+        fanout_division: true,
+        epsilon: 0.5,
+    },
+    Variant {
+        label: "method1 +fanout-div eps=0.0",
+        power_method: PowerMethod::InputLoads,
+        fanout_division: true,
+        epsilon: 0.0,
+    },
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let circuits: Vec<&str> = if args.is_empty() {
+        vec!["x2", "s344", "s510", "alu2"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let lib = lib2_like();
+
+    for name in circuits {
+        let net = benchgen::suite_circuit(name);
+        let optimized = optimize(&net);
+        let cfg = FlowConfig::default();
+        let probe = run_method(&optimized, &lib, Method::I, &cfg).expect("probe");
+        let required = probe.mapped.estimated_fastest * 1.10;
+
+        let pi_probs = vec![0.5; optimized.inputs().len()];
+        let d = decompose_network(
+            &optimized,
+            &DecompOptions {
+                style: Method::V.decomp_style(),
+                model: cfg.model,
+                pi_probs: Some(pi_probs.clone()),
+                required_time: None,
+                use_correlations: false,
+            },
+        );
+        let (mappable, _) = lowpower::flow::strip_constant_outputs(&d.network);
+        let act = analyze(&mappable, &pi_probs, cfg.model);
+        let aig = SubjectAig::from_network(&mappable, &act).expect("subject");
+
+        println!("\n=== {name} (pd-map, minpower decomposition) ===");
+        println!("{:<40} {:>8} {:>8} {:>9} {:>9} {:>9}", "variant", "area", "delay", "P0 µW", "Pg µW", "time");
+        for v in VARIANTS {
+            let opts = MapOptions {
+                power_method: v.power_method,
+                dag_fanout_division: v.fanout_division,
+                epsilon: v.epsilon,
+                required_time: Some(required),
+                ..MapOptions::power()
+            };
+            let t = Instant::now();
+            let mapped = map_network(&aig, &lib, &opts).expect("maps");
+            let elapsed = t.elapsed();
+            let rep = evaluate(&mapped, &lib, &cfg.env, cfg.model, cfg.po_load);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.sim_seed);
+            let g = simulate_glitch_power(
+                &mapped, &lib, &cfg.env, &pi_probs, cfg.sim_vectors, &mut rng, cfg.po_load,
+            );
+            println!(
+                "{:<40} {:>8.1} {:>8.2} {:>9.1} {:>9.1} {:>8.1?}",
+                v.label, rep.area, rep.delay, rep.power_uw, g.power_uw, elapsed
+            );
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Regenerates **Tables 2 and 3** of the paper: gate area, delay and
+//! average power of the six method combinations over the benchmark suite,
+//! plus the Section 4 summary claims.
+//!
+//! Methods:
+//!   I/II/III — area-delay mapping with conventional / MINPOWER /
+//!              bounded-height MINPOWER decomposition,
+//!   IV/V/VI  — the same decompositions with power-delay mapping.
+//!
+//! Usage:
+//!   cargo run --release -p lowpower-bench --bin tables23 [-- options]
+//! Options:
+//!   --circuits a,b,c     subset of suite circuits
+//!   --power-method 2     use Method 2 bookkeeping (ablation, §3.1)
+//!   --no-fanout-division disable the §3.3 DAG heuristic (ablation)
+
+use benchgen::{paper_suite, suite_circuit};
+use genlib::builtin::lib2_like;
+use lowpower::flow::{optimize, run_method, FlowConfig, Method};
+use lowpower_bench::{summarize, SuiteRow};
+use lowpower_core::map::PowerMethod;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut circuits: Option<Vec<String>> = None;
+    let mut power_method = PowerMethod::InputLoads;
+    let mut fanout_division = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--circuits" => {
+                i += 1;
+                circuits =
+                    Some(args[i].split(',').map(str::to_string).collect());
+            }
+            "--power-method" => {
+                i += 1;
+                if args[i] == "2" {
+                    power_method = PowerMethod::OutputLoad;
+                }
+            }
+            "--no-fanout-division" => fanout_division = false,
+            other => {
+                eprintln!("unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let lib = lib2_like();
+    let cfg = FlowConfig::default();
+    let selected: Vec<&str> = match &circuits {
+        Some(list) => list.iter().map(String::as_str).collect(),
+        None => paper_suite().iter().map(|e| e.name).collect(),
+    };
+
+    let mut rows: Vec<SuiteRow> = Vec::new();
+    for name in &selected {
+        let net = suite_circuit(name);
+        let optimized = optimize(&net);
+        let mut methods = Vec::with_capacity(6);
+        for m in Method::ALL {
+            let mut r = run_method(&optimized, &lib, m, &cfg)
+                .unwrap_or_else(|e| panic!("method {m} failed on {name}: {e}"));
+            // apply ablation switches by re-running with modified options
+            if power_method == PowerMethod::OutputLoad || !fanout_division {
+                r = rerun_with(&optimized, &lib, m, &cfg, power_method, fanout_division);
+            }
+            methods.push((r.report.area, r.report.delay, r.glitch_power_uw));
+        }
+        rows.push(SuiteRow { name: name.to_string(), methods });
+        eprintln!("done: {name}");
+    }
+
+    print_table(
+        "Table 2: area-delay mapping (ad-map)",
+        &rows,
+        &[(0, "I conv"), (1, "II minpower"), (2, "III bh-minpower")],
+    );
+    print_table(
+        "Table 3: power-delay mapping (pd-map)",
+        &rows,
+        &[(3, "IV conv"), (4, "V minpower"), (5, "VI bh-minpower")],
+    );
+
+    let s = summarize(&rows);
+    println!("\nSection 4 summary (geometric-mean changes)        measured   paper");
+    println!("  minpower decomp power (II/I, V/IV):            {:>7.1} %   -3.7 %", s.minpower_decomp_power_pct);
+    println!("  bounded-height power (III/II, VI/V):           {:>7.1} %   -1.6 %", s.bounded_power_pct);
+    println!("  bounded-height delay (III/II, VI/V):           {:>7.1} %   -1.6 %", s.bounded_delay_pct);
+    println!("  pd-map power (IV-VI vs I-III):                 {:>7.1} %  -22   %", s.pdmap_power_pct);
+    println!("  pd-map area  (IV-VI vs I-III):                 {:>7.1} %  +12.4 %", s.pdmap_area_pct);
+    println!("  pd-map delay (IV-VI vs I-III):                 {:>7.1} %   -1.1 %", s.pdmap_delay_pct);
+}
+
+fn rerun_with(
+    optimized: &netlist::Network,
+    lib: &genlib::Library,
+    method: Method,
+    cfg: &FlowConfig,
+    power_method: PowerMethod,
+    fanout_division: bool,
+) -> lowpower::flow::MethodResult {
+    use activity::analyze;
+    use lowpower_core::decomp::{decompose_network, DecompOptions};
+    use lowpower_core::map::{map_network, MapOptions, SubjectAig};
+    use lowpower_core::power::evaluate;
+    let pi_probs = vec![0.5; optimized.inputs().len()];
+    let dopts = DecompOptions {
+        style: method.decomp_style(),
+        model: cfg.model,
+        pi_probs: Some(pi_probs.clone()),
+        required_time: None,
+        use_correlations: false,
+    };
+    let d = decompose_network(optimized, &dopts);
+    let act = analyze(&d.network, &pi_probs, cfg.model);
+    let sw = act.total_switching(d.network.logic_ids());
+    let aig = SubjectAig::from_network(&d.network, &act).expect("subject");
+    let mopts = MapOptions {
+        objective: method.map_objective(),
+        power_method,
+        dag_fanout_division: fanout_division,
+        epsilon: cfg.epsilon,
+        model: cfg.model,
+        env: cfg.env,
+        po_load: cfg.po_load,
+        required_time: None,
+    };
+    let mapped = map_network(&aig, lib, &mopts).expect("map");
+    let report = evaluate(&mapped, lib, &cfg.env, cfg.model, cfg.po_load);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.sim_seed);
+    let glitch = lowpower_core::power::simulate_glitch_power(
+        &mapped, lib, &cfg.env, &pi_probs, cfg.sim_vectors, &mut rng, cfg.po_load,
+    );
+    lowpower::flow::MethodResult {
+        report,
+        glitch_power_uw: glitch.power_uw,
+        decomp_depth: d.depth,
+        decomp_switching: sw,
+        mapped,
+    }
+}
+
+fn print_table(title: &str, rows: &[SuiteRow], cols: &[(usize, &str)]) {
+    println!("\n{title}");
+    print!("{:<8}", "circuit");
+    for (_, label) in cols {
+        print!(" | {:^26}", label);
+    }
+    println!();
+    print!("{:-<8}", "");
+    for _ in cols {
+        print!("-+-{:-<26}", "");
+    }
+    println!();
+    print!("{:<8}", "");
+    for _ in cols {
+        print!(" | {:>8} {:>8} {:>8}", "area", "delay", "power");
+    }
+    println!();
+    for r in rows {
+        print!("{:<8}", r.name);
+        for &(m, _) in cols {
+            let (a, d, p) = r.methods[m];
+            print!(" | {a:>8.1} {d:>8.2} {p:>8.1}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,177 @@
+//! Table 2/3 harness: run all six methods per circuit, compute summaries.
+
+use genlib::Library;
+use lowpower::flow::{optimize, run_method, FlowConfig, Method};
+use netlist::Network;
+
+/// The six (area, delay, power) triples of one circuit, in method order.
+#[derive(Debug, Clone)]
+pub struct SuiteRow {
+    /// Circuit name.
+    pub name: String,
+    /// Per-method `(gate area, delay ns, average power µW)`.
+    pub methods: Vec<(f64, f64, f64)>,
+}
+
+/// Run all six methods (or a subset) on one circuit.
+///
+/// # Panics
+/// Panics when a method fails end-to-end — the suite circuits are
+/// guaranteed mappable.
+pub fn run_suite_row(
+    net: &Network,
+    lib: &Library,
+    cfg: &FlowConfig,
+    methods: &[Method],
+) -> SuiteRow {
+    let optimized = optimize(net);
+    // Common timing target for every method: the delay achieved by the
+    // conventional ad-map flow (method I) when pushed to its fastest — the
+    // paper's "no performance degradation" comparison point.
+    let cfg = match cfg.required_time {
+        Some(_) => cfg.clone(),
+        None => {
+            let probe = run_method(&optimized, lib, Method::I, cfg)
+                .unwrap_or_else(|e| panic!("method I failed on {}: {e}", net.name()));
+            // 10 % slack over the conventional flow's fastest estimate gives
+            // every method room to trade speed for area/power, like the
+            // paper's "given timing constraints".
+            let target = probe.mapped.estimated_fastest * 1.10;
+            FlowConfig { required_time: Some(target), ..cfg.clone() }
+        }
+    };
+    let mut rows = Vec::with_capacity(methods.len());
+    for &m in methods {
+        let r = run_method(&optimized, lib, m, &cfg)
+            .unwrap_or_else(|e| panic!("method {m} failed on {}: {e}", net.name()));
+        rows.push((r.report.area, r.report.delay, r.glitch_power_uw));
+    }
+    SuiteRow { name: net.name().to_string(), methods: rows }
+}
+
+/// The Section 4 summary claims, as geometric-mean ratios in percent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Power change of minpower decomp vs conventional (II/I and V/IV
+    /// averaged), percent (negative = improvement). Paper: ≈ −3.7 %.
+    pub minpower_decomp_power_pct: f64,
+    /// Power change of bounded-height vs minpower decomp (III/II, VI/V),
+    /// percent. Paper: ≈ −1.6 %.
+    pub bounded_power_pct: f64,
+    /// Delay change of bounded-height vs minpower decomp, percent.
+    /// Paper: ≈ −1.6 %.
+    pub bounded_delay_pct: f64,
+    /// Power change of pd-map vs ad-map (IV–VI vs I–III), percent.
+    /// Paper: ≈ −22 %.
+    pub pdmap_power_pct: f64,
+    /// Area change of pd-map vs ad-map, percent. Paper: ≈ +12.4 %.
+    pub pdmap_area_pct: f64,
+    /// Delay change of pd-map vs ad-map, percent. Paper: ≈ −1.1 %.
+    pub pdmap_delay_pct: f64,
+}
+
+fn geo_mean_ratio_pct(pairs: &[(f64, f64)]) -> f64 {
+    let pairs: Vec<&(f64, f64)> =
+        pairs.iter().filter(|(num, den)| *num > 0.0 && *den > 0.0).collect();
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = pairs.iter().map(|(num, den)| (num / den).ln()).sum();
+    ((log_sum / pairs.len() as f64).exp() - 1.0) * 100.0
+}
+
+/// Compute the Section 4 summary from full six-method rows.
+///
+/// # Panics
+/// Panics if any row has fewer than six method entries.
+pub fn summarize(rows: &[SuiteRow]) -> Summary {
+    let get = |r: &SuiteRow, m: usize| r.methods[m];
+    let mut mp_power = Vec::new();
+    let mut bh_power = Vec::new();
+    let mut bh_delay = Vec::new();
+    let mut pd_power = Vec::new();
+    let mut pd_area = Vec::new();
+    let mut pd_delay = Vec::new();
+    for r in rows {
+        assert!(r.methods.len() >= 6, "need all six methods");
+        let (a1, d1, p1) = get(r, 0);
+        let (a2, d2, p2) = get(r, 1);
+        let (_a3, d3, p3) = get(r, 2);
+        let (a4, d4, p4) = get(r, 3);
+        let (a5, d5, p5) = get(r, 4);
+        let (a6, d6, p6) = get(r, 5);
+        // minpower decomp effect: II vs I, V vs IV
+        mp_power.push((p2, p1));
+        mp_power.push((p5, p4));
+        // bounded-height effect: III vs II, VI vs V
+        bh_power.push((p3, p2));
+        bh_power.push((p6, p5));
+        bh_delay.push((d3, d2));
+        bh_delay.push((d6, d5));
+        // pd-map effect: IV vs I, V vs II, VI vs III
+        pd_power.push((p4, p1));
+        pd_power.push((p5, p2));
+        pd_power.push((p6, p3));
+        pd_area.push((a4, a1));
+        pd_area.push((a5, a2));
+        pd_area.push((a6, get(r, 2).0));
+        pd_delay.push((d4, d1));
+        pd_delay.push((d5, d2));
+        pd_delay.push((d6, d3));
+        let _ = (a2, a5, a6, d1, d4);
+    }
+    Summary {
+        minpower_decomp_power_pct: geo_mean_ratio_pct(&mp_power),
+        bounded_power_pct: geo_mean_ratio_pct(&bh_power),
+        bounded_delay_pct: geo_mean_ratio_pct(&bh_delay),
+        pdmap_power_pct: geo_mean_ratio_pct(&pd_power),
+        pdmap_area_pct: geo_mean_ratio_pct(&pd_area),
+        pdmap_delay_pct: geo_mean_ratio_pct(&pd_delay),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genlib::builtin::lib2_like;
+
+    #[test]
+    fn one_small_circuit_all_methods() {
+        let net = benchgen::suite_circuit("cm42a");
+        let lib = lib2_like();
+        let cfg = FlowConfig::default();
+        let row = run_suite_row(&net, &lib, &cfg, &Method::ALL);
+        assert_eq!(row.methods.len(), 6);
+        for &(a, d, p) in &row.methods {
+            assert!(a > 0.0 && d > 0.0 && p > 0.0);
+        }
+        // pd-map (IV) must not dissipate meaningfully more power than
+        // ad-map (I); the glitch simulation is stochastic, so allow a 10 %
+        // band (cm42a's covers are nearly identical under both objectives).
+        assert!(
+            row.methods[3].2 <= row.methods[0].2 * 1.10,
+            "pd-map power {} vs ad-map {}",
+            row.methods[3].2,
+            row.methods[0].2
+        );
+    }
+
+    #[test]
+    fn summary_math() {
+        let rows = vec![SuiteRow {
+            name: "x".into(),
+            methods: vec![
+                (100.0, 10.0, 100.0),
+                (100.0, 10.0, 96.0),
+                (100.0, 10.0, 95.0),
+                (112.0, 10.0, 78.0),
+                (112.0, 10.0, 75.0),
+                (112.0, 10.0, 74.0),
+            ],
+        }];
+        let s = summarize(&rows);
+        assert!(s.minpower_decomp_power_pct < 0.0);
+        assert!(s.pdmap_power_pct < -20.0);
+        assert!(s.pdmap_area_pct > 10.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Binaries:
+//! * `table1`   — Modified Huffman optimality percentages (paper Table 1).
+//! * `tables23` — methods I–VI over the benchmark suite (paper Tables 2–3)
+//!   plus the summary claims of Section 4.
+//! * `figure1`  — the worked 4-input AND example of Figure 1.
+//!
+//! Criterion benches (in `benches/`) measure runtime scaling of the
+//! decomposition algorithms, the BDD probability engine and the mapper.
+
+pub mod harness;
+
+pub use harness::{run_suite_row, summarize, SuiteRow, Summary};

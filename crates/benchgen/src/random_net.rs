@@ -1,0 +1,179 @@
+//! Seeded random multi-level network generator.
+//!
+//! Produces networks with the statistical character of optimized MCNC/ISCAS
+//! combinational logic: small SOP nodes (1–4 cubes over 2–4 fanins),
+//! reconvergent fanout (fanins biased toward recent nodes, occasionally far
+//! back), and a mix of unate and binate functions. Generation is fully
+//! deterministic in the seed.
+
+use netlist::{Cube, Lit, Network, NodeId, Sop};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters for [`random_network`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomNetConfig {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of internal logic nodes generated (before pruning dangling
+    /// logic, so the final count can be slightly lower).
+    pub nodes: usize,
+    /// Maximum fanin per node (2..=4 is realistic post-optimization).
+    pub max_fanin: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomNetConfig {
+    fn default() -> Self {
+        RandomNetConfig { inputs: 8, outputs: 4, nodes: 40, max_fanin: 3, seed: 1 }
+    }
+}
+
+/// Generate a random combinational network.
+///
+/// # Panics
+/// Panics if `inputs == 0`, `outputs == 0` or `max_fanin < 2`.
+pub fn random_network(cfg: &RandomNetConfig) -> Network {
+    assert!(cfg.inputs > 0 && cfg.outputs > 0, "need inputs and outputs");
+    assert!(cfg.max_fanin >= 2, "max fanin must be at least 2");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut net = Network::new(format!("rand_{}", cfg.seed));
+    let mut pool: Vec<NodeId> = (0..cfg.inputs)
+        .map(|i| net.add_input(format!("pi{i}")).expect("fresh"))
+        .collect();
+
+    for k in 0..cfg.nodes {
+        let fanin_ct = rng.gen_range(2..=cfg.max_fanin.min(pool.len()).max(2));
+        // Bias toward recent signals for depth; occasionally reach far back
+        // for reconvergence.
+        let mut fanins: Vec<NodeId> = Vec::with_capacity(fanin_ct);
+        while fanins.len() < fanin_ct {
+            let idx = if rng.gen_bool(0.7) && pool.len() > 4 {
+                let lo = pool.len().saturating_sub(8);
+                rng.gen_range(lo..pool.len())
+            } else {
+                rng.gen_range(0..pool.len())
+            };
+            let cand = pool[idx];
+            if !fanins.contains(&cand) {
+                fanins.push(cand);
+            }
+        }
+        let w = fanins.len();
+        let sop = random_sop(&mut rng, w);
+        let id = net
+            .add_logic(format!("n{k}"), fanins, sop)
+            .expect("fresh");
+        pool.push(id);
+    }
+
+    // Outputs: prefer the latest signals (circuit "roots").
+    let logic: Vec<NodeId> = pool[cfg.inputs..].to_vec();
+    for o in 0..cfg.outputs {
+        let src = if logic.is_empty() {
+            pool[rng.gen_range(0..pool.len())]
+        } else if o == 0 {
+            *logic.last().expect("non-empty")
+        } else {
+            let lo = logic.len().saturating_sub(cfg.outputs * 2);
+            logic[rng.gen_range(lo..logic.len())]
+        };
+        net.add_output(format!("po{o}"), src);
+    }
+    net.sweep_dangling();
+    net.check().expect("generated network is well-formed");
+    net
+}
+
+/// A random non-constant SOP of the given width.
+fn random_sop(rng: &mut StdRng, width: usize) -> Sop {
+    loop {
+        let ncubes = rng.gen_range(1..=3.min(width + 1));
+        let mut cubes = Vec::with_capacity(ncubes);
+        for _ in 0..ncubes {
+            let mut lits = vec![Lit::Free; width];
+            // Every cube binds at least one literal; density ~2/3. Positive
+            // phase dominates (~75 %), as in optimized control logic, which
+            // skews internal signal probabilities away from 0.5 — the
+            // regime where power-aware decomposition and mapping matter.
+            let forced = rng.gen_range(0..width);
+            for (i, l) in lits.iter_mut().enumerate() {
+                if i == forced || rng.gen_bool(0.66) {
+                    *l = if rng.gen_bool(0.75) { Lit::Pos } else { Lit::Neg };
+                }
+            }
+            cubes.push(Cube::new(lits));
+        }
+        let mut sop = Sop::from_cubes(width, cubes);
+        sop.make_scc_minimal();
+        // Reject constants and single-literal (buffer/inverter) functions.
+        if sop.is_tautology() || sop.is_zero() {
+            continue;
+        }
+        if sop.literal_count() < 2 {
+            continue;
+        }
+        return sop;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = RandomNetConfig { seed: 42, ..Default::default() };
+        let a = random_network(&cfg);
+        let b = random_network(&cfg);
+        assert_eq!(netlist::write_blif(&a), netlist::write_blif(&b));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_network(&RandomNetConfig { seed: 1, ..Default::default() });
+        let b = random_network(&RandomNetConfig { seed: 2, ..Default::default() });
+        assert_ne!(netlist::write_blif(&a), netlist::write_blif(&b));
+    }
+
+    #[test]
+    fn respects_shape_parameters() {
+        let cfg = RandomNetConfig { inputs: 12, outputs: 6, nodes: 80, max_fanin: 4, seed: 7 };
+        let net = random_network(&cfg);
+        assert_eq!(net.inputs().len(), 12);
+        assert_eq!(net.outputs().len(), 6);
+        assert!(net.logic_count() <= 80);
+        assert!(net.logic_count() >= 20, "pruning should not gut the network");
+        for id in net.logic_ids() {
+            assert!(net.node(id).fanins().len() <= 4);
+        }
+    }
+
+    #[test]
+    fn generated_networks_are_valid_blif_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for seed in 0..5 {
+            let net = random_network(&RandomNetConfig { seed, ..Default::default() });
+            let text = netlist::write_blif(&net);
+            let back = netlist::parse_blif(&text).unwrap().network;
+            for _ in 0..64 {
+                let pis: Vec<bool> =
+                    (0..net.inputs().len()).map(|_| rng.gen_bool(0.5)).collect();
+                assert_eq!(net.eval_outputs(&pis), back.eval_outputs(&pis));
+            }
+        }
+    }
+
+    #[test]
+    fn no_trivial_nodes() {
+        let net = random_network(&RandomNetConfig { seed: 3, nodes: 60, ..Default::default() });
+        for id in net.logic_ids() {
+            let sop = net.node(id).sop().unwrap();
+            assert!(!sop.is_zero() && !sop.is_tautology());
+            assert!(sop.literal_count() >= 2);
+        }
+    }
+}

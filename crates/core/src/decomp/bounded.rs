@@ -1,0 +1,223 @@
+//! BOUNDED-HEIGHT MINPOWER tree decomposition (Section 2.2).
+//!
+//! For general merge functions the paper replaces the PACKAGE step of
+//! Larmore–Hirschberg with a minimum-`F` pairing and calls the result a
+//! heuristic. We implement the equivalent *feasibility-guarded greedy*:
+//! repeatedly merge the minimum-`F` pair subject to the invariant that the
+//! remaining items can still be combined within the height bound. The
+//! feasibility test is exact (merging the two shallowest items is optimal
+//! for height — `F(x,y) = max(x,y)+1` is quasi-linear, as Section 2.1
+//! notes), so the greedy always returns a tree meeting the bound whenever
+//! one exists. The classic package-merge for linear weights lives in
+//! [`crate::decomp::package_merge`].
+
+use crate::decomp::objective::DecompObjective;
+use crate::decomp::tree::DecompTree;
+
+/// Minimum achievable tree height when combining items of the given
+/// heights: repeatedly merge the two shallowest (Huffman on
+/// `F(x,y) = max(x,y) + 1`).
+pub fn min_height(heights: &[usize]) -> usize {
+    assert!(!heights.is_empty(), "need at least one item");
+    let mut hs: Vec<usize> = heights.to_vec();
+    hs.sort_unstable_by(|a, b| b.cmp(a)); // descending; pop from the back
+    while hs.len() > 1 {
+        let a = hs.pop().expect("non-empty");
+        let b = hs.pop().expect("non-empty");
+        let m = a.max(b) + 1;
+        // insert keeping descending order
+        let pos = hs.partition_point(|&x| x > m);
+        hs.insert(pos, m);
+    }
+    hs[0]
+}
+
+/// Build a MINPOWER tree whose height does not exceed `bound`.
+///
+/// Greedy: at each step, among all pairs `(i, j)` ordered by merged-node
+/// switching activity `F_ij`, merge the first pair for which the resulting
+/// item multiset still satisfies `min_height ≤ bound`.
+///
+/// Returns `None` when the bound is infeasible (`bound < ceil(log2 n)`).
+///
+/// # Panics
+/// Panics if `probs` is empty.
+pub fn bounded_minpower_tree(
+    probs: &[f64],
+    obj: DecompObjective,
+    bound: usize,
+) -> Option<DecompTree> {
+    bounded_minpower_tree_with_heights(probs, &vec![0; probs.len()], obj, bound)
+}
+
+/// [`bounded_minpower_tree`] for leaves that already sit at non-zero
+/// heights (e.g. cube roots whose AND trees were built first, or negated
+/// literals behind an inverter). The bound applies to the overall tree:
+/// a leaf with initial height `h` at depth `d` contributes `h + d`.
+///
+/// # Panics
+/// Panics if `probs` and `leaf_heights` lengths differ or are empty.
+pub fn bounded_minpower_tree_with_heights(
+    probs: &[f64],
+    leaf_heights: &[usize],
+    obj: DecompObjective,
+    bound: usize,
+) -> Option<DecompTree> {
+    assert!(!probs.is_empty(), "need at least one leaf");
+    assert_eq!(probs.len(), leaf_heights.len(), "height per leaf required");
+    let mut items: Vec<(DecompTree, usize)> = probs
+        .iter()
+        .zip(leaf_heights)
+        .enumerate()
+        .map(|(i, (&p, &h))| (DecompTree::leaf(i, p), h))
+        .collect();
+    if min_height(leaf_heights) > bound {
+        return None;
+    }
+    while items.len() > 1 {
+        // Rank all pairs by F.
+        let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+        for i in 0..items.len() {
+            for j in i + 1..items.len() {
+                pairs.push((obj.pair_cost(items[i].0.p_root(), items[j].0.p_root()), i, j));
+            }
+        }
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+        let mut chosen: Option<(usize, usize)> = None;
+        for &(_, i, j) in &pairs {
+            let merged_h = items[i].1.max(items[j].1) + 1;
+            if merged_h > bound {
+                continue;
+            }
+            let mut hs: Vec<usize> = Vec::with_capacity(items.len() - 1);
+            for (k, (_, h)) in items.iter().enumerate() {
+                if k != i && k != j {
+                    hs.push(*h);
+                }
+            }
+            hs.push(merged_h);
+            if min_height(&hs) <= bound {
+                chosen = Some((i, j));
+                break;
+            }
+        }
+        let (i, j) = chosen.expect("feasible state always admits a feasible merge");
+        let (b, hb) = items.swap_remove(j);
+        let (a, ha) = items.swap_remove(i);
+        items.push((DecompTree::merge(a, b, obj), ha.max(hb) + 1));
+    }
+    let (mut tree, h) = items.pop().expect("one tree remains");
+    debug_assert!(h <= bound);
+    improve_by_leaf_swaps(&mut tree, leaf_heights, obj);
+    Some(tree)
+}
+
+/// Hill-climbing post-pass: try swapping pairs of leaves with equal initial
+/// heights (which preserves every node height and thus the bound) and keep
+/// swaps that reduce the internal switching cost. Repairs the myopia of the
+/// greedy pairing under tight bounds.
+fn improve_by_leaf_swaps(tree: &mut DecompTree, leaf_heights: &[usize], obj: DecompObjective) {
+    let n = leaf_heights.len();
+    if n < 3 {
+        return;
+    }
+    let mut cost = tree.internal_cost(obj);
+    loop {
+        let mut improved = false;
+        for a in 0..n {
+            for b in a + 1..n {
+                if leaf_heights[a] != leaf_heights[b] {
+                    continue;
+                }
+                let mut trial = tree.clone();
+                trial.swap_leaves(a, b, obj);
+                let c = trial.internal_cost(obj);
+                if c + 1e-12 < cost {
+                    *tree = trial;
+                    cost = c;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::exhaustive::{exhaustive_bounded_minpower, exhaustive_minpower};
+    use crate::decomp::objective::GateKind;
+    use activity::TransitionModel;
+
+    #[test]
+    fn min_height_balanced() {
+        assert_eq!(min_height(&[0, 0, 0, 0]), 2);
+        assert_eq!(min_height(&[0, 0, 0, 0, 0]), 3);
+        assert_eq!(min_height(&[0]), 0);
+        assert_eq!(min_height(&[2, 0, 0]), 3);
+        assert_eq!(min_height(&[3, 3]), 4);
+    }
+
+    #[test]
+    fn respects_bound_and_feasibility() {
+        let obj = DecompObjective::new(TransitionModel::DominoP, GateKind::And);
+        let probs = [0.3, 0.4, 0.7, 0.5];
+        assert!(bounded_minpower_tree(&probs, obj, 1).is_none());
+        for bound in 2..=3 {
+            let t = bounded_minpower_tree(&probs, obj, bound).expect("feasible");
+            assert!(t.height() <= bound);
+            assert_eq!(t.leaf_count(), 4);
+        }
+    }
+
+    #[test]
+    fn loose_bound_recovers_unbounded_optimum_for_domino() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let obj = DecompObjective::new(TransitionModel::DominoP, GateKind::And);
+        for _ in 0..50 {
+            let n = rng.gen_range(2..=6);
+            let probs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..0.99)).collect();
+            let t = bounded_minpower_tree(&probs, obj, n).expect("bound n is always feasible");
+            let (best, _) = exhaustive_minpower(&probs, obj);
+            assert!(
+                (t.internal_cost(obj) - best).abs() < 1e-9,
+                "with a loose bound the greedy must equal Huffman's optimum"
+            );
+        }
+    }
+
+    #[test]
+    fn near_optimal_under_tight_bounds() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let obj = DecompObjective::new(TransitionModel::StaticCmos, GateKind::And);
+        let mut optimal = 0;
+        let mut total = 0;
+        for _ in 0..100 {
+            let n = rng.gen_range(3..=6);
+            let probs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..0.99)).collect();
+            let bound = (n as f64).log2().ceil() as usize;
+            let t = bounded_minpower_tree(&probs, obj, bound).expect("balanced is feasible");
+            assert!(t.height() <= bound);
+            let (best, _) =
+                exhaustive_bounded_minpower(&probs, obj, bound).expect("feasible");
+            assert!(t.internal_cost(obj) >= best - 1e-9);
+            total += 1;
+            if t.internal_cost(obj) <= best + 1e-9 {
+                optimal += 1;
+            }
+        }
+        assert!(optimal * 100 / total >= 70, "only {optimal}/{total} optimal");
+    }
+
+    #[test]
+    fn bound_one_with_two_leaves() {
+        let obj = DecompObjective::new(TransitionModel::DominoP, GateKind::And);
+        let t = bounded_minpower_tree(&[0.2, 0.9], obj, 1).expect("feasible");
+        assert_eq!(t.height(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Huffman's algorithm (Algorithm 2.1) for quasi-linear merge functions.
+
+use crate::decomp::objective::DecompObjective;
+use crate::decomp::tree::DecompTree;
+
+/// Build a decomposition tree by Huffman's rule: repeatedly merge the two
+/// items with the smallest keys, where the key is
+/// [`DecompObjective::huffman_key`]. Optimal for quasi-linear objectives
+/// (Theorem 2.2 — the domino dynamic cases, eqs. 5–6); a heuristic
+/// otherwise.
+///
+/// # Panics
+/// Panics if `probs` is empty.
+pub fn huffman_tree(probs: &[f64], obj: DecompObjective) -> DecompTree {
+    assert!(!probs.is_empty(), "need at least one leaf");
+    let mut items: Vec<DecompTree> = probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| DecompTree::leaf(i, p))
+        .collect();
+    while items.len() > 1 {
+        // Find the two smallest keys. O(n) per step is fine for the widths
+        // seen in node decomposition; the classic O(n log n) heap version
+        // changes nothing observable.
+        let mut i0 = 0;
+        for i in 1..items.len() {
+            if obj.huffman_key(items[i].p_root()) < obj.huffman_key(items[i0].p_root()) {
+                i0 = i;
+            }
+        }
+        let a = items.swap_remove(i0);
+        let mut i1 = 0;
+        for i in 1..items.len() {
+            if obj.huffman_key(items[i].p_root()) < obj.huffman_key(items[i1].p_root()) {
+                i1 = i;
+            }
+        }
+        let b = items.swap_remove(i1);
+        items.push(DecompTree::merge(a, b, obj));
+    }
+    items.pop().expect("one tree remains")
+}
+
+/// MINPOWER tree decomposition: Huffman for quasi-linear objectives,
+/// Modified Huffman (Algorithm 2.2) otherwise. This is the dispatch the
+/// paper prescribes in Section 2.1.
+pub fn minpower_tree(probs: &[f64], obj: DecompObjective) -> DecompTree {
+    if obj.quasi_linear() {
+        huffman_tree(probs, obj)
+    } else {
+        crate::decomp::modified::modified_huffman_tree(probs, obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::exhaustive::exhaustive_minpower;
+    use crate::decomp::objective::GateKind;
+    use activity::TransitionModel;
+
+    #[test]
+    fn figure1_inputs_give_optimal_0222() {
+        let obj = DecompObjective::new(TransitionModel::DominoP, GateKind::And);
+        let t = huffman_tree(&[0.3, 0.4, 0.7, 0.5], obj);
+        assert!((t.internal_cost(obj) - 0.222).abs() < 1e-12);
+        // Strictly better than both configurations of Figure 1.
+        assert!(t.internal_cost(obj) < 0.246);
+    }
+
+    #[test]
+    fn huffman_matches_exhaustive_for_domino_p() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let obj = DecompObjective::new(TransitionModel::DominoP, GateKind::And);
+        for _ in 0..100 {
+            let n = rng.gen_range(2..=6);
+            let probs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..0.99)).collect();
+            let h = huffman_tree(&probs, obj);
+            let (best, _) = exhaustive_minpower(&probs, obj);
+            assert!(
+                h.internal_cost(obj) <= best + 1e-9,
+                "Huffman {} vs optimum {} on {probs:?}",
+                h.internal_cost(obj),
+                best
+            );
+        }
+    }
+
+    #[test]
+    fn huffman_matches_exhaustive_for_domino_n_or() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let obj = DecompObjective::new(TransitionModel::DominoN, GateKind::Or);
+        for _ in 0..100 {
+            let n = rng.gen_range(2..=5);
+            let probs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..0.99)).collect();
+            let h = huffman_tree(&probs, obj);
+            let (best, _) = exhaustive_minpower(&probs, obj);
+            assert!(h.internal_cost(obj) <= best + 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let obj = DecompObjective::new(TransitionModel::DominoP, GateKind::And);
+        let t = huffman_tree(&[0.4], obj);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.internal_cost(obj), 0.0);
+    }
+
+    #[test]
+    fn tree_has_all_leaves_once() {
+        let obj = DecompObjective::new(TransitionModel::DominoP, GateKind::And);
+        let t = huffman_tree(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7], obj);
+        let depths = t.leaf_depths();
+        assert_eq!(depths.len(), 7);
+        assert!(depths.iter().all(|&d| d != usize::MAX));
+    }
+
+    #[test]
+    fn minpower_dispatch() {
+        let dom = DecompObjective::new(TransitionModel::DominoP, GateKind::And);
+        let sta = DecompObjective::new(TransitionModel::StaticCmos, GateKind::And);
+        let probs = [0.3, 0.5, 0.7];
+        // both return a valid 3-leaf tree
+        assert_eq!(minpower_tree(&probs, dom).leaf_count(), 3);
+        assert_eq!(minpower_tree(&probs, sta).leaf_count(), 3);
+    }
+}

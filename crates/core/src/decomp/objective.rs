@@ -1,0 +1,124 @@
+//! Merge objectives: how probabilities combine and what an internal node
+//! costs, per design style (eqs. 5, 6, 10, 11 of the paper).
+
+use activity::TransitionModel;
+
+/// The gate type a tree is decomposed into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// 2-input AND tree.
+    And,
+    /// 2-input OR tree.
+    Or,
+}
+
+/// A decomposition objective: transition model + gate kind.
+///
+/// Weights are signal 1-probabilities. [`DecompObjective::merge_p`] gives
+/// the 1-probability of a merged internal node and
+/// [`DecompObjective::cost`] its switching activity:
+///
+/// * domino p-type: `E = p` (eq. 5 context),
+/// * domino n-type: `E = 1 − p` (eq. 6 context),
+/// * static CMOS: `E = 2·p·(1−p)` (eqs. 10–11 under temporal
+///   independence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecompObjective {
+    /// Transition model.
+    pub model: TransitionModel,
+    /// Gate kind of the tree.
+    pub gate: GateKind,
+}
+
+impl DecompObjective {
+    /// Construct an objective.
+    pub fn new(model: TransitionModel, gate: GateKind) -> DecompObjective {
+        DecompObjective { model, gate }
+    }
+
+    /// 1-probability of the output of a 2-input gate over independent
+    /// inputs with 1-probabilities `pa`, `pb`.
+    pub fn merge_p(&self, pa: f64, pb: f64) -> f64 {
+        match self.gate {
+            GateKind::And => pa * pb,
+            GateKind::Or => pa + pb - pa * pb,
+        }
+    }
+
+    /// Switching activity of a node with 1-probability `p`.
+    pub fn cost(&self, p: f64) -> f64 {
+        self.model.switching(p)
+    }
+
+    /// Switching activity of the merged node — the pairwise `F` value
+    /// minimized by the (Modified) Huffman algorithms.
+    pub fn pair_cost(&self, pa: f64, pb: f64) -> f64 {
+        self.cost(self.merge_p(pa, pb))
+    }
+
+    /// True when the merge function is quasi-linear *and* the node cost is
+    /// monotone in the Huffman key, so plain Huffman is optimal
+    /// (Theorem 2.2: the domino cases).
+    pub fn quasi_linear(&self) -> bool {
+        matches!(self.model, TransitionModel::DominoP | TransitionModel::DominoN)
+    }
+
+    /// The sort key under which Huffman's "merge the two smallest" rule is
+    /// optimal for quasi-linear objectives.
+    ///
+    /// * p-type: cost is `p`; merging small `p` first keeps internal
+    ///   probabilities small (φ(x) = −log x for AND).
+    /// * n-type: cost is `1 − p`; the symmetric argument applies to the
+    ///   0-probabilities.
+    pub fn huffman_key(&self, p: f64) -> f64 {
+        match self.model {
+            TransitionModel::DominoP => match self.gate {
+                GateKind::And => p,
+                GateKind::Or => p,
+            },
+            TransitionModel::DominoN => 1.0 - p,
+            // Static is not quasi-linear; the key is only used as a
+            // heuristic tie-break if Huffman is forced on it.
+            TransitionModel::StaticCmos => self.model.switching(p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_probabilities() {
+        let and = DecompObjective::new(TransitionModel::DominoP, GateKind::And);
+        assert!((and.merge_p(0.3, 0.4) - 0.12).abs() < 1e-12);
+        let or = DecompObjective::new(TransitionModel::DominoP, GateKind::Or);
+        assert!((or.merge_p(0.3, 0.4) - 0.58).abs() < 1e-12);
+    }
+
+    #[test]
+    fn costs_by_model() {
+        let p = 0.25;
+        assert!(
+            (DecompObjective::new(TransitionModel::DominoP, GateKind::And).cost(p) - 0.25).abs()
+                < 1e-12
+        );
+        assert!(
+            (DecompObjective::new(TransitionModel::DominoN, GateKind::And).cost(p) - 0.75).abs()
+                < 1e-12
+        );
+        assert!(
+            (DecompObjective::new(TransitionModel::StaticCmos, GateKind::And).cost(p)
+                - 2.0 * 0.25 * 0.75)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn quasi_linearity_classification() {
+        assert!(DecompObjective::new(TransitionModel::DominoP, GateKind::And).quasi_linear());
+        assert!(DecompObjective::new(TransitionModel::DominoN, GateKind::Or).quasi_linear());
+        assert!(!DecompObjective::new(TransitionModel::StaticCmos, GateKind::And).quasi_linear());
+    }
+}

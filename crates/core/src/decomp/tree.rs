@@ -1,0 +1,274 @@
+//! Decomposition trees.
+
+use crate::decomp::objective::DecompObjective;
+
+/// A binary decomposition tree over `n` leaves.
+///
+/// Nodes are stored in an arena; internal nodes carry the 1-probability of
+/// their output signal as computed by the objective used to build the tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecompTree {
+    nodes: Vec<TreeNode>,
+    root: usize,
+    leaf_count: usize,
+}
+
+/// One node of a [`DecompTree`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TreeNode {
+    /// Leaf `i` with 1-probability `p`.
+    Leaf {
+        /// Index of the leaf in the original weight list.
+        input: usize,
+        /// 1-probability of the leaf signal.
+        p: f64,
+    },
+    /// Internal 2-input gate.
+    Internal {
+        /// Left child arena index.
+        left: usize,
+        /// Right child arena index.
+        right: usize,
+        /// 1-probability of the gate output.
+        p: f64,
+    },
+}
+
+impl DecompTree {
+    /// A tree with a single leaf (no internal nodes).
+    pub fn leaf(input: usize, p: f64) -> DecompTree {
+        DecompTree { nodes: vec![TreeNode::Leaf { input, p }], root: 0, leaf_count: 1 }
+    }
+
+    /// Merge two trees under a new internal node whose probability is
+    /// computed by `obj`.
+    pub fn merge(a: DecompTree, b: DecompTree, obj: DecompObjective) -> DecompTree {
+        let p = obj.merge_p(a.p_root(), b.p_root());
+        let mut nodes = a.nodes;
+        let offset = nodes.len();
+        let a_root = a.root;
+        nodes.extend(b.nodes.into_iter().map(|n| match n {
+            TreeNode::Leaf { input, p } => TreeNode::Leaf { input, p },
+            TreeNode::Internal { left, right, p } => {
+                TreeNode::Internal { left: left + offset, right: right + offset, p }
+            }
+        }));
+        let b_root = b.root + offset;
+        nodes.push(TreeNode::Internal { left: a_root, right: b_root, p });
+        DecompTree {
+            root: nodes.len() - 1,
+            leaf_count: a.leaf_count + b.leaf_count,
+            nodes,
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// Arena nodes.
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Arena index of the root.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// 1-probability at the root.
+    pub fn p_root(&self) -> f64 {
+        self.p_of(self.root)
+    }
+
+    fn p_of(&self, idx: usize) -> f64 {
+        match self.nodes[idx] {
+            TreeNode::Leaf { p, .. } | TreeNode::Internal { p, .. } => p,
+        }
+    }
+
+    /// Swap the leaf positions of inputs `a` and `b` (exchanging both the
+    /// `input` indices and leaf probabilities), then recompute internal
+    /// probabilities bottom-up with `obj`.
+    ///
+    /// # Panics
+    /// Panics if either input index is not a leaf of the tree.
+    pub fn swap_leaves(&mut self, a: usize, b: usize, obj: DecompObjective) {
+        let mut ia = None;
+        let mut ib = None;
+        for (idx, n) in self.nodes.iter().enumerate() {
+            if let TreeNode::Leaf { input, .. } = n {
+                if *input == a {
+                    ia = Some(idx);
+                } else if *input == b {
+                    ib = Some(idx);
+                }
+            }
+        }
+        let (ia, ib) = (ia.expect("leaf a present"), ib.expect("leaf b present"));
+        let (pa, pb) = (self.p_of(ia), self.p_of(ib));
+        self.nodes[ia] = TreeNode::Leaf { input: b, p: pb };
+        self.nodes[ib] = TreeNode::Leaf { input: a, p: pa };
+        self.recompute_probs(obj);
+    }
+
+    /// Recompute internal probabilities bottom-up (children always precede
+    /// parents in arena order by construction).
+    pub fn recompute_probs(&mut self, obj: DecompObjective) {
+        for idx in 0..self.nodes.len() {
+            if let TreeNode::Internal { left, right, .. } = self.nodes[idx] {
+                let p = obj.merge_p(self.p_of(left), self.p_of(right));
+                if let TreeNode::Internal { p: rp, .. } = &mut self.nodes[idx] {
+                    *rp = p;
+                }
+            }
+        }
+    }
+
+    /// Replace the root's stored 1-probability (used by correlation-aware
+    /// construction, where the merge probability comes from a joint rather
+    /// than a product).
+    pub fn with_root_p(mut self, p: f64) -> DecompTree {
+        match &mut self.nodes[self.root] {
+            TreeNode::Leaf { p: rp, .. } | TreeNode::Internal { p: rp, .. } => *rp = p,
+        }
+        self
+    }
+
+    /// Sum of switching activities of **internal** nodes — the MINPOWER
+    /// objective `G = Σ W_i` of Section 2.1.
+    pub fn internal_cost(&self, obj: DecompObjective) -> f64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                TreeNode::Internal { p, .. } => Some(obj.cost(*p)),
+                TreeNode::Leaf { .. } => None,
+            })
+            .sum()
+    }
+
+    /// Total switching (internal nodes plus leaves) — the `SR` quantity of
+    /// Figure 1.
+    pub fn total_cost(&self, obj: DecompObjective) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                TreeNode::Internal { p, .. } | TreeNode::Leaf { p, .. } => obj.cost(*p),
+            })
+            .sum()
+    }
+
+    /// Height of the tree in gate levels (a single leaf has height 0).
+    pub fn height(&self) -> usize {
+        self.height_of(self.root)
+    }
+
+    fn height_of(&self, idx: usize) -> usize {
+        match self.nodes[idx] {
+            TreeNode::Leaf { .. } => 0,
+            TreeNode::Internal { left, right, .. } => {
+                1 + self.height_of(left).max(self.height_of(right))
+            }
+        }
+    }
+
+    /// Depth of each leaf, indexed by original leaf input index.
+    ///
+    /// # Panics
+    /// Panics if leaf input indices are not `0..leaf_count`.
+    pub fn leaf_depths(&self) -> Vec<usize> {
+        let mut depths = vec![usize::MAX; self.leaf_count];
+        let mut stack = vec![(self.root, 0usize)];
+        while let Some((idx, d)) = stack.pop() {
+            match self.nodes[idx] {
+                TreeNode::Leaf { input, .. } => {
+                    assert!(input < self.leaf_count, "leaf index out of range");
+                    depths[input] = d;
+                }
+                TreeNode::Internal { left, right, .. } => {
+                    stack.push((left, d + 1));
+                    stack.push((right, d + 1));
+                }
+            }
+        }
+        depths
+    }
+
+    /// Canonical parenthesized form, for deduplication and debugging.
+    /// Children are ordered, so this identifies the *shape with leaf
+    /// assignment* up to sibling order.
+    pub fn canonical_string(&self) -> String {
+        fn rec(t: &DecompTree, idx: usize) -> String {
+            match t.nodes[idx] {
+                TreeNode::Leaf { input, .. } => format!("{input}"),
+                TreeNode::Internal { left, right, .. } => {
+                    let a = rec(t, left);
+                    let b = rec(t, right);
+                    if a <= b {
+                        format!("({a},{b})")
+                    } else {
+                        format!("({b},{a})")
+                    }
+                }
+            }
+        }
+        rec(self, self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::objective::GateKind;
+    use activity::TransitionModel;
+
+    fn obj() -> DecompObjective {
+        DecompObjective::new(TransitionModel::DominoP, GateKind::And)
+    }
+
+    fn chain_abcd() -> DecompTree {
+        // ((a·b)·c)·d with P = 0.3, 0.4, 0.7, 0.5 — configuration A of Fig. 1.
+        let o = obj();
+        let ab = DecompTree::merge(DecompTree::leaf(0, 0.3), DecompTree::leaf(1, 0.4), o);
+        let abc = DecompTree::merge(ab, DecompTree::leaf(2, 0.7), o);
+        DecompTree::merge(abc, DecompTree::leaf(3, 0.5), o)
+    }
+
+    #[test]
+    fn figure1_configuration_a() {
+        let t = chain_abcd();
+        let o = obj();
+        // internal: 0.12 + 0.084 + 0.042 = 0.246; leaves: 1.9; SR(A) = 2.146.
+        assert!((t.internal_cost(o) - 0.246).abs() < 1e-12);
+        assert!((t.total_cost(o) - 2.146).abs() < 1e-12);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.leaf_depths(), vec![3, 3, 2, 1]);
+    }
+
+    #[test]
+    fn figure1_configuration_b() {
+        // (a·b)·(c·d) — configuration B.
+        let o = obj();
+        let ab = DecompTree::merge(DecompTree::leaf(0, 0.3), DecompTree::leaf(1, 0.4), o);
+        let cd = DecompTree::merge(DecompTree::leaf(2, 0.7), DecompTree::leaf(3, 0.5), o);
+        let t = DecompTree::merge(ab, cd, o);
+        assert!((t.total_cost(o) - 2.412).abs() < 1e-12);
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn canonical_string_is_sibling_order_invariant() {
+        let o = obj();
+        let t1 = DecompTree::merge(DecompTree::leaf(0, 0.5), DecompTree::leaf(1, 0.5), o);
+        let t2 = DecompTree::merge(DecompTree::leaf(1, 0.5), DecompTree::leaf(0, 0.5), o);
+        assert_eq!(t1.canonical_string(), t2.canonical_string());
+    }
+
+    #[test]
+    fn or_tree_probability() {
+        let o = DecompObjective::new(TransitionModel::StaticCmos, GateKind::Or);
+        let t = DecompTree::merge(DecompTree::leaf(0, 0.3), DecompTree::leaf(1, 0.4), o);
+        assert!((t.p_root() - 0.58).abs() < 1e-12);
+    }
+}

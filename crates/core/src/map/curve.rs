@@ -1,0 +1,214 @@
+//! Power-delay (and area-delay) curves of non-inferior points (§3.1).
+
+use crate::map::subject::Signal;
+
+/// One mapping solution at a node: arrival time at the node output under
+/// the default load, accumulated cost (average power in µW, or area) of the
+/// mapped transitive fanin *excluding* the node's own output net
+/// (Method 1), the drive resistance of the producing gate (for unknown-load
+/// recalculation), and enough bookkeeping to rebuild the mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Arrival time at the output, computed with the default load.
+    pub arrival: f64,
+    /// Accumulated cost of the mapped cone (µW or area units).
+    pub cost: f64,
+    /// Drive resistance of the gate producing this point (ns per load
+    /// unit); arrival shifts by `drive · Δload` when the real load differs
+    /// from the default (§3.2.3).
+    pub drive: f64,
+    /// Library gate index; `None` for primary-input source points.
+    pub gate: Option<usize>,
+    /// For each gate pin: the bound subject signal. The concrete point on
+    /// each input curve is re-selected during the preorder pass from the
+    /// propagated required time (§3.2.2), so no index is stored.
+    pub inputs: Vec<Signal>,
+}
+
+impl Point {
+    /// Arrival as seen through a pin of capacitance `load` when the curve
+    /// was computed assuming `default_load`.
+    pub fn arrival_at_load(&self, load: f64, default_load: f64) -> f64 {
+        self.arrival + self.drive * (load - default_load)
+    }
+}
+
+/// A monotone non-increasing curve of non-inferior `(arrival, cost)` points,
+/// sorted by increasing arrival and strictly decreasing cost.
+#[derive(Debug, Clone, Default)]
+pub struct Curve {
+    points: Vec<Point>,
+}
+
+impl Curve {
+    /// Empty curve.
+    pub fn new() -> Curve {
+        Curve { points: Vec::new() }
+    }
+
+    /// The points, sorted by arrival.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// True when the curve has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Add a candidate point (no pruning yet).
+    pub fn push(&mut self, p: Point) {
+        self.points.push(p);
+    }
+
+    /// Hard cap on curve size after pruning; beyond it the curve is thinned
+    /// by keeping the fastest point, the cheapest point and an evenly
+    /// spread selection in between. Keeps the postorder pass near-linear.
+    pub const MAX_POINTS: usize = 24;
+
+    /// Prune inferior points and ε-merge near-duplicates (§3.1): a point is
+    /// dropped when another point has both no-worse arrival and no-worse
+    /// cost; afterwards points within `epsilon` in arrival keep only the
+    /// cheapest representative; finally the curve is thinned to
+    /// [`Curve::MAX_POINTS`].
+    pub fn finalize(&mut self, epsilon: f64) {
+        if self.points.is_empty() {
+            return;
+        }
+        self.points
+            .sort_by(|a, b| (a.arrival, a.cost).partial_cmp(&(b.arrival, b.cost)).expect("finite"));
+        let mut kept: Vec<Point> = Vec::with_capacity(self.points.len());
+        let mut best_cost = f64::INFINITY;
+        for p in self.points.drain(..) {
+            if p.cost < best_cost - 1e-12 {
+                best_cost = p.cost;
+                kept.push(p);
+            }
+        }
+        // ε-merge: within an arrival window keep the last (cheapest) point.
+        if epsilon > 0.0 {
+            let mut merged: Vec<Point> = Vec::with_capacity(kept.len());
+            for p in kept {
+                if let Some(last) = merged.last() {
+                    if p.arrival - last.arrival < epsilon {
+                        // same window: the later point is cheaper (sorted),
+                        // replace — this loses a little speed, never power.
+                        merged.pop();
+                    }
+                }
+                merged.push(p);
+            }
+            kept = merged;
+        }
+        if kept.len() > Self::MAX_POINTS {
+            let n = kept.len();
+            let mut thinned: Vec<Point> = Vec::with_capacity(Self::MAX_POINTS);
+            for k in 0..Self::MAX_POINTS {
+                let idx = k * (n - 1) / (Self::MAX_POINTS - 1);
+                thinned.push(kept[idx].clone());
+            }
+            thinned.dedup_by(|a, b| a.arrival == b.arrival && a.cost == b.cost);
+            kept = thinned;
+        }
+        self.points = kept;
+    }
+
+    /// Best (cheapest) point whose arrival at the given pin load meets
+    /// `required`; `None` when no point qualifies.
+    pub fn best_within(
+        &self,
+        required: f64,
+        load: f64,
+        default_load: f64,
+    ) -> Option<(usize, &Point)> {
+        self.points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.arrival_at_load(load, default_load) <= required + 1e-9)
+            .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).expect("finite"))
+    }
+
+    /// The fastest point (minimum arrival at the given load).
+    pub fn fastest(&self, load: f64, default_load: f64) -> Option<(usize, &Point)> {
+        self.points.iter().enumerate().min_by(|a, b| {
+            a.1.arrival_at_load(load, default_load)
+                .partial_cmp(&b.1.arrival_at_load(load, default_load))
+                .expect("finite")
+        })
+    }
+
+    /// The cheapest point irrespective of timing.
+    pub fn cheapest(&self) -> Option<(usize, &Point)> {
+        self.points
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.cost.partial_cmp(&b.1.cost).expect("finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(arrival: f64, cost: f64) -> Point {
+        Point { arrival, cost, drive: 1.0, gate: None, inputs: Vec::new() }
+    }
+
+    #[test]
+    fn finalize_keeps_pareto_frontier() {
+        let mut c = Curve::new();
+        c.push(pt(1.0, 10.0));
+        c.push(pt(2.0, 5.0));
+        c.push(pt(1.5, 12.0)); // inferior: slower than 1.0 and costlier
+        c.push(pt(3.0, 5.0)); // inferior: same cost as 2.0 but slower
+        c.push(pt(4.0, 1.0));
+        c.finalize(0.0);
+        let arr: Vec<f64> = c.points().iter().map(|p| p.arrival).collect();
+        assert_eq!(arr, vec![1.0, 2.0, 4.0]);
+        // strictly decreasing costs
+        let costs: Vec<f64> = c.points().iter().map(|p| p.cost).collect();
+        assert!(costs.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn epsilon_merges_close_points() {
+        let mut c = Curve::new();
+        c.push(pt(1.00, 10.0));
+        c.push(pt(1.05, 9.0));
+        c.push(pt(2.0, 5.0));
+        c.finalize(0.1);
+        assert_eq!(c.points().len(), 2);
+        assert_eq!(c.points()[0].cost, 9.0);
+    }
+
+    #[test]
+    fn best_within_respects_load_shift() {
+        let mut c = Curve::new();
+        let mut fast = pt(1.0, 10.0);
+        fast.drive = 2.0;
+        let mut slow = pt(2.0, 5.0);
+        slow.drive = 0.1;
+        c.push(fast);
+        c.push(slow);
+        c.finalize(0.0);
+        // at default load: cheapest within 2.0 is the slow point
+        let (_, p) = c.best_within(2.0, 1.0, 1.0).unwrap();
+        assert_eq!(p.cost, 5.0);
+        // heavy load (Δ=2): fast point shifts to 1+2·2=5, slow to 2+0.2=2.2;
+        // requirement 2.3 still admits the slow point only.
+        let (_, p) = c.best_within(2.3, 3.0, 1.0).unwrap();
+        assert_eq!(p.cost, 5.0);
+        // requirement 2.0 at heavy load admits nothing.
+        assert!(c.best_within(2.0, 3.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn fastest_and_cheapest() {
+        let mut c = Curve::new();
+        c.push(pt(1.0, 10.0));
+        c.push(pt(2.0, 5.0));
+        c.finalize(0.0);
+        assert_eq!(c.fastest(1.0, 1.0).unwrap().1.arrival, 1.0);
+        assert_eq!(c.cheapest().unwrap().1.cost, 5.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Library gates compiled into AIG pattern trees.
+//!
+//! Each gate's Boolean expression is normalized (NNF, flattened n-ary
+//! AND/OR) and every binary-tree shape of its n-ary operators is
+//! enumerated, producing a set of AND/complement pattern trees. A pattern
+//! whose root carries a complement ("inverting-root") matches the *negative*
+//! phase of a subject node.
+
+use genlib::{Expr, Library};
+use std::collections::HashSet;
+
+/// A pattern tree node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatNode {
+    /// Gate input pin (position in the gate's input list).
+    Leaf(usize),
+    /// AND of two edges.
+    And(Box<PatEdge>, Box<PatEdge>),
+}
+
+/// An edge to a pattern node, possibly complemented.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PatEdge {
+    /// Complement flag.
+    pub compl: bool,
+    /// Target node.
+    pub node: PatNode,
+}
+
+impl PatEdge {
+    fn not(mut self) -> PatEdge {
+        self.compl = !self.compl;
+        self
+    }
+
+    fn canonical(&self) -> String {
+        let c = if self.compl { "!" } else { "" };
+        match &self.node {
+            PatNode::Leaf(i) => format!("{c}{i}"),
+            PatNode::And(a, b) => {
+                let (sa, sb) = (a.canonical(), b.canonical());
+                if sa <= sb {
+                    format!("{c}({sa}*{sb})")
+                } else {
+                    format!("{c}({sb}*{sa})")
+                }
+            }
+        }
+    }
+}
+
+/// One compiled pattern of a gate.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    /// Index of the gate in the [`PatternSet`]'s library.
+    pub gate: usize,
+    /// True when the pattern root is complemented (NAND/NOR/AOI/OAI/XOR…):
+    /// such patterns implement the *complement* of the subject AND node
+    /// they match at, i.e. contribute to its negative-phase curve.
+    pub root_compl: bool,
+    /// Root node (always an [`PatNode::And`]; single-leaf gates are kept in
+    /// [`PatternSet::inverters`]/[`PatternSet::buffers`] instead).
+    pub root: PatNode,
+    /// Number of gate input pins.
+    pub pin_count: usize,
+}
+
+/// All patterns of a library plus the special single-input cells.
+#[derive(Debug, Clone)]
+pub struct PatternSet {
+    patterns: Vec<Pattern>,
+    inverters: Vec<usize>,
+    buffers: Vec<usize>,
+}
+
+/// Cap on shapes enumerated per gate (guards degenerate libraries).
+const MAX_SHAPES_PER_GATE: usize = 256;
+
+impl PatternSet {
+    /// Compile every gate of the library.
+    pub fn from_library(lib: &Library) -> PatternSet {
+        let mut patterns = Vec::new();
+        let mut inverters = Vec::new();
+        let mut buffers = Vec::new();
+        for (gi, gate) in lib.gates().iter().enumerate() {
+            if gate.is_inverter() {
+                inverters.push(gi);
+                continue;
+            }
+            if gate.is_buffer() {
+                buffers.push(gi);
+                continue;
+            }
+            if gate.inputs().is_empty() {
+                continue; // constant cells are not used by the tree mapper
+            }
+            let shapes = shapes_of(&gate.function().normalize());
+            let mut seen: HashSet<String> = HashSet::new();
+            for e in shapes {
+                if !seen.insert(e.canonical()) {
+                    continue;
+                }
+                match e.node {
+                    PatNode::Leaf(_) => {} // single-literal functions handled above
+                    PatNode::And(..) => patterns.push(Pattern {
+                        gate: gi,
+                        root_compl: e.compl,
+                        root: e.node,
+                        pin_count: gate.inputs().len(),
+                    }),
+                }
+            }
+        }
+        PatternSet { patterns, inverters, buffers }
+    }
+
+    /// Compiled AND-rooted patterns.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Library indices of inverter cells.
+    pub fn inverters(&self) -> &[usize] {
+        &self.inverters
+    }
+
+    /// Library indices of buffer cells.
+    pub fn buffers(&self) -> &[usize] {
+        &self.buffers
+    }
+}
+
+/// All binary shapes of an NNF expression, as pattern edges.
+fn shapes_of(e: &Expr) -> Vec<PatEdge> {
+    match e {
+        Expr::Var(i) => vec![PatEdge { compl: false, node: PatNode::Leaf(*i) }],
+        Expr::Not(inner) => shapes_of(inner).into_iter().map(PatEdge::not).collect(),
+        Expr::And(kids) => nary_shapes(kids, false),
+        Expr::Or(kids) => {
+            // a + b = !(!a · !b): AND over complemented children, root
+            // complemented.
+            nary_shapes(kids, true)
+        }
+        Expr::Zero | Expr::One => Vec::new(),
+    }
+}
+
+/// Binary shapes of an n-ary AND (or, with `or_mode`, OR via De Morgan).
+fn nary_shapes(kids: &[Expr], or_mode: bool) -> Vec<PatEdge> {
+    let child_shapes: Vec<Vec<PatEdge>> = kids
+        .iter()
+        .map(|k| {
+            let mut s = shapes_of(k);
+            if or_mode {
+                s = s.into_iter().map(PatEdge::not).collect();
+            }
+            s
+        })
+        .collect();
+    // Enumerate merge histories over the children; each child contributes
+    // each of its own shapes.
+    let items: Vec<Vec<PatEdge>> = child_shapes;
+    let mut out = Vec::new();
+    merge_histories(&items, &mut out);
+    if or_mode {
+        out = out.into_iter().map(PatEdge::not).collect();
+    }
+    out
+}
+
+fn merge_histories(items: &[Vec<PatEdge>], out: &mut Vec<PatEdge>) {
+    fn rec(items: Vec<Vec<PatEdge>>, out: &mut Vec<PatEdge>) {
+        if out.len() >= MAX_SHAPES_PER_GATE {
+            return;
+        }
+        if items.len() == 1 {
+            out.extend(items.into_iter().next().expect("one item"));
+            return;
+        }
+        for i in 0..items.len() {
+            for j in i + 1..items.len() {
+                let mut rest: Vec<Vec<PatEdge>> = Vec::with_capacity(items.len() - 1);
+                for (k, it) in items.iter().enumerate() {
+                    if k != i && k != j {
+                        rest.push(it.clone());
+                    }
+                }
+                // merged alternatives: cross product of the two item shape sets
+                let mut merged: Vec<PatEdge> = Vec::new();
+                for a in &items[i] {
+                    for b in &items[j] {
+                        merged.push(PatEdge {
+                            compl: false,
+                            node: PatNode::And(Box::new(a.clone()), Box::new(b.clone())),
+                        });
+                    }
+                }
+                rest.push(merged);
+                rec(rest, out);
+            }
+        }
+    }
+    rec(items.to_vec(), out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genlib::builtin::lib2_like;
+
+    fn set() -> (genlib::Library, PatternSet) {
+        let lib = lib2_like();
+        let ps = PatternSet::from_library(&lib);
+        (lib, ps)
+    }
+
+    fn patterns_for<'a>(
+        lib: &genlib::Library,
+        ps: &'a PatternSet,
+        name: &str,
+    ) -> Vec<&'a Pattern> {
+        let gi = lib.gates().iter().position(|g| g.name() == name).unwrap();
+        ps.patterns().iter().filter(|p| p.gate == gi).collect()
+    }
+
+    #[test]
+    fn inverters_and_buffers_split_out() {
+        let (lib, ps) = set();
+        assert_eq!(ps.inverters().len(), 3);
+        assert_eq!(ps.buffers().len(), 1);
+        for &i in ps.inverters() {
+            assert!(lib.gates()[i].is_inverter());
+        }
+    }
+
+    #[test]
+    fn nand2_is_single_inverting_and() {
+        let (lib, ps) = set();
+        let pats = patterns_for(&lib, &ps, "nand2");
+        assert_eq!(pats.len(), 1);
+        assert!(pats[0].root_compl);
+        match &pats[0].root {
+            PatNode::And(a, b) => {
+                assert!(!a.compl && !b.compl);
+                assert!(matches!(a.node, PatNode::Leaf(_)));
+                assert!(matches!(b.node, PatNode::Leaf(_)));
+            }
+            other => panic!("unexpected root {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nor2_has_complemented_leaves_noninverting_root() {
+        let (lib, ps) = set();
+        let pats = patterns_for(&lib, &ps, "nor2");
+        // !(a+b) = !a·!b : root AND not complemented, both leaf edges
+        // complemented.
+        assert_eq!(pats.len(), 1);
+        assert!(!pats[0].root_compl);
+        match &pats[0].root {
+            PatNode::And(a, b) => assert!(a.compl && b.compl),
+            other => panic!("unexpected root {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nand4_enumerates_shapes() {
+        let (lib, ps) = set();
+        let pats = patterns_for(&lib, &ps, "nand4");
+        // binary shapes of a 4-ary AND after canonical dedup: the balanced
+        // one and the skewed ones — with labelled leaves there are 15 merge
+        // histories but canonical form (sibling-order invariant) leaves 15
+        // distinct shapes? No: labelled trees over 4 distinct leaves up to
+        // sibling order = 15. All have root_compl = true.
+        assert_eq!(pats.len(), 15);
+        assert!(pats.iter().all(|p| p.root_compl));
+    }
+
+    #[test]
+    fn aoi21_pattern_structure() {
+        let (lib, ps) = set();
+        let pats = patterns_for(&lib, &ps, "aoi21");
+        // !(ab + c) = !(ab)·!c : root AND non-complemented, one edge is a
+        // complemented AND, the other a complemented leaf.
+        assert_eq!(pats.len(), 1);
+        let p = &pats[0];
+        assert!(!p.root_compl);
+        match &p.root {
+            PatNode::And(x, y) => {
+                let (leaf_edge, and_edge) = if matches!(x.node, PatNode::Leaf(_)) {
+                    (x, y)
+                } else {
+                    (y, x)
+                };
+                assert!(leaf_edge.compl);
+                assert!(and_edge.compl);
+                assert!(matches!(and_edge.node, PatNode::And(..)));
+            }
+            other => panic!("unexpected root {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xor_has_multiple_leaf_occurrences() {
+        let (lib, ps) = set();
+        let pats = patterns_for(&lib, &ps, "xor2");
+        assert!(!pats.is_empty());
+        fn count_leaves(n: &PatNode) -> usize {
+            match n {
+                PatNode::Leaf(_) => 1,
+                PatNode::And(a, b) => count_leaves(&a.node) + count_leaves(&b.node),
+            }
+        }
+        for p in &pats {
+            assert_eq!(count_leaves(&p.root), 4, "xor pattern binds 4 leaf slots");
+        }
+    }
+
+    #[test]
+    fn every_multi_input_gate_has_patterns() {
+        let (lib, ps) = set();
+        for (gi, g) in lib.gates().iter().enumerate() {
+            if g.inputs().len() >= 2 {
+                assert!(
+                    ps.patterns().iter().any(|p| p.gate == gi),
+                    "gate {} has no pattern",
+                    g.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Subject graphs: AND-inverter form of a decomposed network.
+
+use activity::ActivityMap;
+use netlist::{Network, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A signal: an AIG node, possibly complemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signal {
+    /// AIG node index.
+    pub node: u32,
+    /// True when the signal is the complement of the node output.
+    pub compl: bool,
+}
+
+impl Signal {
+    /// The complemented signal.
+    pub fn not(self) -> Signal {
+        Signal { node: self.node, compl: !self.compl }
+    }
+}
+
+/// One AIG node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AigNode {
+    /// Primary input (index into the original network's input list).
+    Pi {
+        /// Position in [`SubjectAig::pi_names`].
+        input: usize,
+    },
+    /// 2-input AND over two signals.
+    And {
+        /// First input signal.
+        a: Signal,
+        /// Second input signal.
+        b: Signal,
+    },
+}
+
+/// Error converting a network into a subject graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The network contains a node the mapper cannot handle (constants or
+    /// nodes wider than 2 inputs) — run sweep + decomposition first.
+    UnsupportedNode(String),
+    /// The library misses a required cell (an inverter).
+    NoInverter,
+    /// A primary output could not be mapped.
+    UnmappedOutput(String),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::UnsupportedNode(n) => {
+                write!(f, "node `{n}` is not 2-input AND/OR/INV/BUF; decompose and sweep first")
+            }
+            MapError::NoInverter => write!(f, "library has no inverter cell"),
+            MapError::UnmappedOutput(n) => write!(f, "primary output `{n}` has no mapping"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// The subject AIG with per-node exact signal probabilities.
+#[derive(Debug, Clone)]
+pub struct SubjectAig {
+    nodes: Vec<AigNode>,
+    p_one: Vec<f64>,
+    pi_names: Vec<String>,
+    outputs: Vec<(String, Signal)>,
+    strash: HashMap<(Signal, Signal), u32>,
+    fanout_count: Vec<usize>,
+}
+
+impl SubjectAig {
+    /// Convert a decomposed network (2-input AND/OR, INV, BUF nodes) into a
+    /// subject AIG. `act` must be the activity map of `net` (exact BDD
+    /// probabilities); AIG node probabilities are derived from it so domino
+    /// phase asymmetries are preserved.
+    ///
+    /// # Errors
+    /// Returns [`MapError::UnsupportedNode`] for constants or wide nodes.
+    pub fn from_network(net: &Network, act: &ActivityMap) -> Result<SubjectAig, MapError> {
+        let mut aig = SubjectAig {
+            nodes: Vec::new(),
+            p_one: Vec::new(),
+            pi_names: Vec::new(),
+            outputs: Vec::new(),
+            strash: HashMap::new(),
+            fanout_count: Vec::new(),
+        };
+        let mut sig_of: HashMap<NodeId, Signal> = HashMap::new();
+        for (i, &pi) in net.inputs().iter().enumerate() {
+            aig.pi_names.push(net.node(pi).name().to_string());
+            let n = aig.push(AigNode::Pi { input: i }, act.p_one(pi));
+            sig_of.insert(pi, Signal { node: n, compl: false });
+        }
+        for id in net.topo_order().expect("acyclic") {
+            let node = net.node(id);
+            let Some(sop) = node.sop() else { continue };
+            let fi = node.fanins();
+            let sig = match (fi.len(), sop) {
+                (1, s) => {
+                    let src = sig_of[&fi[0]];
+                    if s.eval(&[true]) && !s.eval(&[false]) {
+                        src // buffer
+                    } else if !s.eval(&[true]) && s.eval(&[false]) {
+                        src.not() // inverter
+                    } else {
+                        return Err(MapError::UnsupportedNode(node.name().to_string()));
+                    }
+                }
+                (2, s) => {
+                    let (sa, sb) = (sig_of[&fi[0]], sig_of[&fi[1]]);
+                    let tt: Vec<bool> = [(false, false), (true, false), (false, true), (true, true)]
+                        .iter()
+                        .map(|&(x, y)| s.eval(&[x, y]))
+                        .collect();
+                    let p = act.p_one(id);
+                    match tt.as_slice() {
+                        // AND
+                        [false, false, false, true] => aig.and(sa, sb, p),
+                        // OR = !( !a · !b )
+                        [false, true, true, true] => aig.and(sa.not(), sb.not(), 1.0 - p).not(),
+                        // NAND
+                        [true, true, true, false] => aig.and(sa, sb, 1.0 - p).not(),
+                        // NOR
+                        [true, false, false, false] => aig.and(sa.not(), sb.not(), p),
+                        _ => return Err(MapError::UnsupportedNode(node.name().to_string())),
+                    }
+                }
+                _ => return Err(MapError::UnsupportedNode(node.name().to_string())),
+            };
+            sig_of.insert(id, sig);
+        }
+        for (name, o) in net.outputs() {
+            aig.outputs.push((name.clone(), sig_of[o]));
+        }
+        aig.count_fanouts();
+        Ok(aig)
+    }
+
+    fn push(&mut self, node: AigNode, p_one: f64) -> u32 {
+        self.nodes.push(node);
+        self.p_one.push(p_one);
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Create (or reuse, via structural hashing) `AND(a, b)` and return its
+    /// non-complemented signal. `p_one_out` is the exact probability of the
+    /// AND output being 1.
+    fn and(&mut self, a: Signal, b: Signal, p_one_out: f64) -> Signal {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&n) = self.strash.get(&key) {
+            return Signal { node: n, compl: false };
+        }
+        let n = self.push(AigNode::And { a: key.0, b: key.1 }, p_one_out);
+        self.strash.insert(key, n);
+        Signal { node: n, compl: false }
+    }
+
+    fn count_fanouts(&mut self) {
+        let mut fc = vec![0usize; self.nodes.len()];
+        for n in &self.nodes {
+            if let AigNode::And { a, b } = n {
+                fc[a.node as usize] += 1;
+                fc[b.node as usize] += 1;
+            }
+        }
+        for (_, s) in &self.outputs {
+            fc[s.node as usize] += 1;
+        }
+        self.fanout_count = fc;
+    }
+
+    /// Nodes in index order (a valid topological order by construction).
+    pub fn nodes(&self) -> &[AigNode] {
+        &self.nodes
+    }
+
+    /// Number of AIG nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the AIG is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// `P(node output = 1)` for the non-complemented node output.
+    pub fn p_one(&self, node: u32) -> f64 {
+        self.p_one[node as usize]
+    }
+
+    /// `P(signal = 1)` with the complement applied.
+    pub fn p_signal(&self, s: Signal) -> f64 {
+        if s.compl {
+            1.0 - self.p_one(s.node)
+        } else {
+            self.p_one(s.node)
+        }
+    }
+
+    /// Primary input names.
+    pub fn pi_names(&self) -> &[String] {
+        &self.pi_names
+    }
+
+    /// Primary outputs as `(name, signal)`.
+    pub fn outputs(&self) -> &[(String, Signal)] {
+        &self.outputs
+    }
+
+    /// Number of consumers of a node (either phase), POs included.
+    pub fn fanout_count(&self, node: u32) -> usize {
+        self.fanout_count[node as usize]
+    }
+
+    /// Evaluate the whole AIG on a PI assignment; returns node values.
+    pub fn eval(&self, pis: &[bool]) -> Vec<bool> {
+        assert_eq!(pis.len(), self.pi_names.len(), "PI count mismatch");
+        let mut v = vec![false; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            v[i] = match *n {
+                AigNode::Pi { input } => pis[input],
+                AigNode::And { a, b } => {
+                    (v[a.node as usize] ^ a.compl) && (v[b.node as usize] ^ b.compl)
+                }
+            };
+        }
+        v
+    }
+
+    /// Evaluate the primary outputs on a PI assignment.
+    pub fn eval_outputs(&self, pis: &[bool]) -> Vec<bool> {
+        let v = self.eval(pis);
+        self.outputs
+            .iter()
+            .map(|&(_, s)| v[s.node as usize] ^ s.compl)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use activity::{analyze, TransitionModel};
+    use netlist::parse_blif;
+
+    fn decomposed_sample() -> Network {
+        // AND/OR/INV network: f = (a·b) + !c ; g = !(a·b)
+        parse_blif(
+            ".model s\n.inputs a b c\n.outputs f g\n\
+             .names a b x\n11 1\n\
+             .names c ci\n0 1\n\
+             .names x ci f\n1- 1\n-1 1\n\
+             .names x g\n0 1\n.end\n",
+        )
+        .unwrap()
+        .network
+    }
+
+    #[test]
+    fn functional_equivalence() {
+        let net = decomposed_sample();
+        let act = analyze(&net, &[0.5; 3], TransitionModel::StaticCmos);
+        let aig = SubjectAig::from_network(&net, &act).unwrap();
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(aig.eval_outputs(&v), net.eval_outputs(&v), "at {v:?}");
+        }
+    }
+
+    #[test]
+    fn inverters_do_not_create_nodes() {
+        let net = decomposed_sample();
+        let act = analyze(&net, &[0.5; 3], TransitionModel::StaticCmos);
+        let aig = SubjectAig::from_network(&net, &act).unwrap();
+        // nodes: 3 PIs + AND(a,b) + OR(x, !c) = 5 (inverters are edges).
+        assert_eq!(aig.len(), 5);
+    }
+
+    #[test]
+    fn probabilities_match_bdd_analysis() {
+        let net = decomposed_sample();
+        let probs = [0.3, 0.7, 0.2];
+        let act = analyze(&net, &probs, TransitionModel::StaticCmos);
+        let aig = SubjectAig::from_network(&net, &act).unwrap();
+        // The OR output signal probability must equal the BDD value at f.
+        let f_sig = aig.outputs().iter().find(|(n, _)| n == "f").unwrap().1;
+        let f_id = net.find("f").unwrap();
+        assert!((aig.p_signal(f_sig) - act.p_one(f_id)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constants_rejected() {
+        let net = parse_blif(".model c\n.inputs a\n.outputs k\n.names k\n1\n.end\n")
+            .unwrap()
+            .network;
+        let act = analyze(&net, &[0.5], TransitionModel::StaticCmos);
+        assert!(matches!(
+            SubjectAig::from_network(&net, &act),
+            Err(MapError::UnsupportedNode(_))
+        ));
+    }
+
+    #[test]
+    fn structural_hashing_shares_ands() {
+        // two nodes computing a·b share one AIG node
+        let net = parse_blif(
+            ".model s\n.inputs a b\n.outputs f g\n.names a b f\n11 1\n\
+             .names a b g\n11 1\n.end\n",
+        )
+        .unwrap()
+        .network;
+        let act = analyze(&net, &[0.5, 0.5], TransitionModel::StaticCmos);
+        let aig = SubjectAig::from_network(&net, &act).unwrap();
+        assert_eq!(aig.len(), 3); // 2 PIs + 1 AND
+    }
+
+    #[test]
+    fn fanout_counts() {
+        let net = decomposed_sample();
+        let act = analyze(&net, &[0.5; 3], TransitionModel::StaticCmos);
+        let aig = SubjectAig::from_network(&net, &act).unwrap();
+        // x = AND(a,b) feeds the OR node and output g: fanout 2.
+        let g_sig = aig.outputs().iter().find(|(n, _)| n == "g").unwrap().1;
+        assert_eq!(aig.fanout_count(g_sig.node), 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! The embedded `lib2`-like library.
+//!
+//! Reconstructed stand-in for SIS `lib2.genlib` (the original file is not
+//! redistributable here): the same *kind* of cell mix — inverters/buffers in
+//! several drive strengths, NAND/NOR 2–4, AND/OR 2–4, AOI/OAI 21/22, AO/OA
+//! 21/22, XOR/XNOR, MUX — with areas, pin capacitances, intrinsic delays and
+//! drive resistances in lib2's value ranges. See `DESIGN.md` for the
+//! substitution rationale.
+
+use crate::library::Library;
+
+/// Genlib source text of the embedded library.
+pub const LIB2_LIKE_GENLIB: &str = r#"
+# lib2-like standard-cell library (reconstructed stand-in)
+# PIN fields: name phase input-load max-load rise-block rise-fanout fall-block fall-fanout
+
+GATE inv1   1.0  O=!a;          PIN a INV 1.0 999 0.40 1.00 0.35 0.95
+GATE inv2   2.0  O=!a;          PIN a INV 2.0 999 0.45 0.50 0.40 0.48
+GATE inv4   3.0  O=!a;          PIN a INV 4.0 999 0.50 0.25 0.45 0.24
+GATE buf2   2.0  O=a;           PIN a NONINV 1.0 999 0.90 0.50 0.85 0.48
+
+GATE nand2  2.0  O=!(a*b);      PIN a INV 1.0 999 0.60 1.00 0.55 0.95
+                                PIN b INV 1.0 999 0.62 1.02 0.57 0.97
+GATE nand2x2 3.0 O=!(a*b);      PIN * INV 2.0 999 0.70 0.50 0.64 0.48
+GATE nand3  3.0  O=!(a*b*c);    PIN * INV 1.4 999 0.90 1.20 0.82 1.10
+GATE nand4  4.0  O=!(a*b*c*d);  PIN * INV 1.8 999 1.20 1.40 1.10 1.30
+
+GATE nor2   2.0  O=!(a+b);      PIN a INV 1.1 999 0.80 1.20 0.72 1.10
+                                PIN b INV 1.1 999 0.82 1.22 0.74 1.12
+GATE nor2x2 3.0  O=!(a+b);      PIN * INV 2.2 999 0.90 0.60 0.82 0.55
+GATE nor3   3.0  O=!(a+b+c);    PIN * INV 1.5 999 1.20 1.50 1.10 1.40
+GATE nor4   4.0  O=!(a+b+c+d);  PIN * INV 1.9 999 1.60 1.80 1.45 1.65
+
+GATE and2   3.0  O=a*b;         PIN * NONINV 1.0 999 1.00 0.90 0.95 0.85
+GATE and3   4.0  O=a*b*c;       PIN * NONINV 1.2 999 1.30 0.95 1.20 0.90
+GATE and4   5.0  O=a*b*c*d;     PIN * NONINV 1.4 999 1.60 1.00 1.50 0.95
+
+GATE or2    3.0  O=a+b;         PIN * NONINV 1.0 999 1.20 0.90 1.10 0.85
+GATE or3    4.0  O=a+b+c;       PIN * NONINV 1.2 999 1.50 0.95 1.40 0.90
+GATE or4    5.0  O=a+b+c+d;     PIN * NONINV 1.4 999 1.80 1.00 1.70 0.95
+
+GATE aoi21  3.0  O=!(a*b+c);    PIN a INV 1.3 999 1.00 1.30 0.92 1.20
+                                PIN b INV 1.3 999 1.02 1.32 0.94 1.22
+                                PIN c INV 1.4 999 0.80 1.25 0.74 1.15
+GATE aoi22  4.0  O=!(a*b+c*d);  PIN * INV 1.5 999 1.20 1.40 1.10 1.30
+GATE oai21  3.0  O=!((a+b)*c);  PIN a INV 1.3 999 1.10 1.30 1.00 1.20
+                                PIN b INV 1.3 999 1.12 1.32 1.02 1.22
+                                PIN c INV 1.4 999 0.90 1.25 0.82 1.15
+GATE oai22  4.0  O=!((a+b)*(c+d)); PIN * INV 1.5 999 1.30 1.40 1.20 1.30
+
+GATE ao21   4.0  O=a*b+c;       PIN * NONINV 1.2 999 1.40 0.95 1.30 0.90
+GATE ao22   5.0  O=a*b+c*d;     PIN * NONINV 1.3 999 1.60 1.00 1.50 0.95
+GATE oa21   4.0  O=(a+b)*c;     PIN * NONINV 1.2 999 1.50 0.95 1.40 0.90
+GATE oa22   5.0  O=(a+b)*(c+d); PIN * NONINV 1.3 999 1.70 1.00 1.60 0.95
+
+GATE xor2   5.0  O=a*!b+!a*b;   PIN * UNKNOWN 1.9 999 1.80 1.10 1.70 1.05
+GATE xnor2  5.0  O=a*b+!a*!b;   PIN * UNKNOWN 1.9 999 1.90 1.10 1.80 1.05
+GATE mux21  6.0  O=a*s+b*!s;    PIN a NONINV 1.2 999 1.60 1.00 1.50 0.95
+                                PIN s UNKNOWN 1.6 999 1.80 1.10 1.70 1.05
+                                PIN b NONINV 1.2 999 1.62 1.02 1.52 0.97
+"#;
+
+/// Parse and return the embedded `lib2`-like library.
+///
+/// # Panics
+/// Never in practice: the embedded text is validated by this crate's tests.
+pub fn lib2_like() -> Library {
+    Library::parse(LIB2_LIKE_GENLIB).expect("embedded library must parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_has_expected_cells() {
+        let lib = lib2_like();
+        for name in [
+            "inv1", "inv2", "inv4", "buf2", "nand2", "nand3", "nand4", "nor2", "nor3",
+            "nor4", "and2", "and3", "and4", "or2", "or3", "or4", "aoi21", "aoi22",
+            "oai21", "oai22", "ao21", "ao22", "oa21", "oa22", "xor2", "xnor2", "mux21",
+        ] {
+            assert!(lib.find(name).is_some(), "missing cell `{name}`");
+        }
+    }
+
+    #[test]
+    fn stronger_inverters_drive_better_but_load_more() {
+        let lib = lib2_like();
+        let i1 = lib.find("inv1").unwrap();
+        let i4 = lib.find("inv4").unwrap();
+        assert!(i4.pin(0).drive < i1.pin(0).drive);
+        assert!(i4.pin(0).input_cap > i1.pin(0).input_cap);
+    }
+
+    #[test]
+    fn mux_semantics() {
+        let lib = lib2_like();
+        let mux = lib.find("mux21").unwrap();
+        // inputs in first-use order: a, s, b — O = a·s + b·!s
+        assert!(mux.eval(&[true, true, false]));
+        assert!(!mux.eval(&[false, true, true]));
+        assert!(mux.eval(&[false, false, true]));
+    }
+}

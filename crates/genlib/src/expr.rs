@@ -1,0 +1,194 @@
+//! Boolean expression ASTs for genlib gate functions.
+
+use std::fmt;
+
+/// A Boolean expression over named inputs, as written in a genlib `GATE`
+/// line. AND/OR are kept n-ary and flattened; this is the form the pattern
+/// generator consumes when enumerating NAND2/INV decompositions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Constant 0 (`CONST0`).
+    Zero,
+    /// Constant 1 (`CONST1`).
+    One,
+    /// Input by position in the gate's input list.
+    Var(usize),
+    /// Complement.
+    Not(Box<Expr>),
+    /// n-ary conjunction.
+    And(Vec<Expr>),
+    /// n-ary disjunction.
+    Or(Vec<Expr>),
+}
+
+impl Expr {
+    /// Evaluate over an input assignment.
+    pub fn eval(&self, inputs: &[bool]) -> bool {
+        match self {
+            Expr::Zero => false,
+            Expr::One => true,
+            Expr::Var(i) => inputs[*i],
+            Expr::Not(e) => !e.eval(inputs),
+            Expr::And(es) => es.iter().all(|e| e.eval(inputs)),
+            Expr::Or(es) => es.iter().any(|e| e.eval(inputs)),
+        }
+    }
+
+    /// Number of leaf (variable) occurrences.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Expr::Zero | Expr::One => 0,
+            Expr::Var(_) => 1,
+            Expr::Not(e) => e.leaf_count(),
+            Expr::And(es) | Expr::Or(es) => es.iter().map(Expr::leaf_count).sum(),
+        }
+    }
+
+    /// Flatten nested AND-of-AND / OR-of-OR and push negations to the
+    /// leaves (negation-normal form), preserving semantics.
+    pub fn normalize(&self) -> Expr {
+        fn nnf(e: &Expr, neg: bool) -> Expr {
+            match e {
+                Expr::Zero => {
+                    if neg {
+                        Expr::One
+                    } else {
+                        Expr::Zero
+                    }
+                }
+                Expr::One => {
+                    if neg {
+                        Expr::Zero
+                    } else {
+                        Expr::One
+                    }
+                }
+                Expr::Var(i) => {
+                    if neg {
+                        Expr::Not(Box::new(Expr::Var(*i)))
+                    } else {
+                        Expr::Var(*i)
+                    }
+                }
+                Expr::Not(inner) => nnf(inner, !neg),
+                Expr::And(es) => {
+                    let kids: Vec<Expr> = es.iter().map(|k| nnf(k, neg)).collect();
+                    if neg {
+                        flatten_or(kids)
+                    } else {
+                        flatten_and(kids)
+                    }
+                }
+                Expr::Or(es) => {
+                    let kids: Vec<Expr> = es.iter().map(|k| nnf(k, neg)).collect();
+                    if neg {
+                        flatten_and(kids)
+                    } else {
+                        flatten_or(kids)
+                    }
+                }
+            }
+        }
+        fn flatten_and(kids: Vec<Expr>) -> Expr {
+            let mut out = Vec::new();
+            for k in kids {
+                match k {
+                    Expr::And(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            if out.len() == 1 {
+                out.pop().expect("non-empty")
+            } else {
+                Expr::And(out)
+            }
+        }
+        fn flatten_or(kids: Vec<Expr>) -> Expr {
+            let mut out = Vec::new();
+            for k in kids {
+                match k {
+                    Expr::Or(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            if out.len() == 1 {
+                out.pop().expect("non-empty")
+            } else {
+                Expr::Or(out)
+            }
+        }
+        nnf(self, false)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Zero => write!(f, "CONST0"),
+            Expr::One => write!(f, "CONST1"),
+            Expr::Var(i) => write!(f, "x{i}"),
+            Expr::Not(e) => write!(f, "!({e})"),
+            Expr::And(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "*")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Or(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "+")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic() {
+        // !(a*b) + c
+        let e = Expr::Or(vec![
+            Expr::Not(Box::new(Expr::And(vec![Expr::Var(0), Expr::Var(1)]))),
+            Expr::Var(2),
+        ]);
+        assert!(e.eval(&[false, true, false]));
+        assert!(!e.eval(&[true, true, false]));
+        assert!(e.eval(&[true, true, true]));
+    }
+
+    #[test]
+    fn normalize_pushes_negation_and_flattens() {
+        // !(a + (b + c)) -> !a * !b * !c (flattened)
+        let e = Expr::Not(Box::new(Expr::Or(vec![
+            Expr::Var(0),
+            Expr::Or(vec![Expr::Var(1), Expr::Var(2)]),
+        ])));
+        let n = e.normalize();
+        match &n {
+            Expr::And(kids) => assert_eq!(kids.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(e.eval(&v), n.eval(&v));
+        }
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let e = Expr::Not(Box::new(Expr::Not(Box::new(Expr::Var(0)))));
+        assert_eq!(e.normalize(), Expr::Var(0));
+    }
+}

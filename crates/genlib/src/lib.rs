@@ -1,0 +1,32 @@
+//! Gate libraries in Berkeley `genlib` format.
+//!
+//! Provides the [`Library`]/[`Gate`] model used by the technology mapper,
+//! a full parser for genlib text (including multi-`PIN` gates and Boolean
+//! expressions with `!`, `'`, `*`, `+`, parentheses and implicit AND), and
+//! an embedded `lib2`-like library ([`builtin::lib2_like`]) whose gate mix,
+//! areas, pin capacitances and pin-dependent delays follow the ranges of the
+//! classic SIS `lib2.genlib`.
+//!
+//! # Example
+//!
+//! ```
+//! use genlib::Library;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = Library::parse("GATE nand2 2.0 O=!(a*b); PIN * INV 1.0 999 0.6 1.0 0.6 1.0\n")?;
+//! let g = lib.find("nand2").expect("gate exists");
+//! assert_eq!(g.inputs().len(), 2);
+//! assert!(!g.eval(&[true, true]));
+//! assert!(g.eval(&[true, false]));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod builtin;
+pub mod expr;
+pub mod library;
+pub mod parse;
+
+pub use expr::Expr;
+pub use library::{Gate, Library, Pin};
+pub use parse::ParseGenlibError;

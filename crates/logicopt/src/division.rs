@@ -1,0 +1,177 @@
+//! Algebraic (weak) division of SOP covers.
+
+use netlist::{Cube, Lit, Sop};
+
+/// Divide `f` by `d` algebraically: returns `(quotient, remainder)` with
+/// `f = quotient·d + remainder` (no Boolean simplification), quotient
+/// variable-disjoint from `d` cube-wise.
+///
+/// # Panics
+/// Panics if widths differ or `d` is the zero cover.
+pub fn divide(f: &Sop, d: &Sop) -> (Sop, Sop) {
+    assert_eq!(f.width(), d.width(), "sop width mismatch");
+    assert!(!d.is_zero(), "division by zero cover");
+    let width = f.width();
+
+    // Quotient candidates per divisor cube; quotient = intersection.
+    let mut quotient: Option<Vec<Cube>> = None;
+    for dc in d.cubes() {
+        let mut q_d: Vec<Cube> = Vec::new();
+        for fc in f.cubes() {
+            if let Some(q) = cube_divide(fc, dc) {
+                q_d.push(q);
+            }
+        }
+        q_d.sort();
+        q_d.dedup();
+        quotient = Some(match quotient {
+            None => q_d,
+            Some(prev) => prev.into_iter().filter(|c| q_d.contains(c)).collect(),
+        });
+        if quotient.as_ref().is_some_and(Vec::is_empty) {
+            break;
+        }
+    }
+    let quotient_cubes = quotient.unwrap_or_default();
+    let q = Sop::from_cubes(width, quotient_cubes.clone());
+
+    // Remainder: cubes of f not produced by quotient × divisor.
+    let mut product: Vec<Cube> = Vec::new();
+    for qc in &quotient_cubes {
+        for dc in d.cubes() {
+            if let Some(p) = qc.and(dc) {
+                product.push(p);
+            }
+        }
+    }
+    let remainder_cubes: Vec<Cube> = f
+        .cubes()
+        .iter()
+        .filter(|c| !product.contains(c))
+        .cloned()
+        .collect();
+    let r = Sop::from_cubes(width, remainder_cubes);
+    (q, r)
+}
+
+/// Divide cube `c` by cube `d`: if `d`'s bound literals all appear
+/// identically in `c`, return `c` with those positions freed; else `None`.
+pub fn cube_divide(c: &Cube, d: &Cube) -> Option<Cube> {
+    let mut q = c.clone();
+    for (i, l) in d.bound_lits() {
+        if c.lit(i) != l {
+            return None;
+        }
+        q.set_lit(i, Lit::Free);
+    }
+    Some(q)
+}
+
+/// The largest cube dividing every cube of `f` (its common cube); the
+/// tautology cube when `f` has no common literal.
+///
+/// # Panics
+/// Panics if `f` is the zero cover.
+pub fn common_cube(f: &Sop) -> Cube {
+    assert!(!f.is_zero(), "zero cover has no common cube");
+    let width = f.width();
+    let mut common = f.cubes()[0].clone();
+    for c in f.cubes().iter().skip(1) {
+        for i in 0..width {
+            if common.lit(i) != Lit::Free && common.lit(i) != c.lit(i) {
+                common.set_lit(i, Lit::Free);
+            }
+        }
+    }
+    common
+}
+
+/// True if no single cube divides every cube of `f` (i.e. the common cube is
+/// the tautology) and `f` has more than one cube or its only cube is the
+/// tautology cube.
+pub fn is_cube_free(f: &Sop) -> bool {
+    if f.is_zero() {
+        return false;
+    }
+    common_cube(f).is_tautology()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_division() {
+        // f = a·b·c + a·b·d + e ; d = c + d  →  q = a·b, r = e
+        // positions: a=0 b=1 c=2 d=3 e=4
+        let f = Sop::parse(5, &["111--", "11-1-", "----1"]).unwrap();
+        let d = Sop::parse(5, &["--1--", "---1-"]).unwrap();
+        let (q, r) = divide(&f, &d);
+        assert_eq!(q.cubes(), Sop::parse(5, &["11---"]).unwrap().cubes());
+        assert_eq!(r.cubes(), Sop::parse(5, &["----1"]).unwrap().cubes());
+    }
+
+    #[test]
+    fn division_identity_reconstructs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..40 {
+            let w = 5;
+            let mk = |rng: &mut rand::rngs::StdRng, n: usize| {
+                let cubes: Vec<Cube> = (0..n)
+                    .map(|_| {
+                        Cube::new(
+                            (0..w)
+                                .map(|_| match rng.gen_range(0..3) {
+                                    0 => Lit::Neg,
+                                    1 => Lit::Pos,
+                                    _ => Lit::Free,
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                Sop::from_cubes(w, cubes)
+            };
+            let nf = rng.gen_range(1..=5);
+            let nd = rng.gen_range(1..=2);
+            let f = mk(&mut rng, nf);
+            let d = mk(&mut rng, nd);
+            if d.is_zero() {
+                continue;
+            }
+            let (q, r) = divide(&f, &d);
+            // f ≡ q·d + r semantically.
+            let qd = q.and(&d);
+            let rebuilt = qd.or(&r);
+            assert!(rebuilt.equivalent(&f), "f={f} d={d} q={q} r={r}");
+        }
+    }
+
+    #[test]
+    fn cube_division() {
+        let c = Cube::parse("110-").unwrap();
+        let d = Cube::parse("1---").unwrap();
+        assert_eq!(cube_divide(&c, &d).unwrap().to_string(), "-10-");
+        let bad = Cube::parse("0---").unwrap();
+        assert!(cube_divide(&c, &bad).is_none());
+    }
+
+    #[test]
+    fn common_cube_and_cube_free() {
+        let f = Sop::parse(3, &["110", "11-"]).unwrap();
+        assert_eq!(common_cube(&f).to_string(), "11-");
+        assert!(!is_cube_free(&f));
+        let g = Sop::parse(3, &["1--", "-1-"]).unwrap();
+        assert!(is_cube_free(&g));
+    }
+
+    #[test]
+    fn non_divisible_gives_empty_quotient() {
+        let f = Sop::parse(2, &["1-"]).unwrap();
+        let d = Sop::parse(2, &["-1"]).unwrap();
+        let (q, r) = divide(&f, &d);
+        assert!(q.is_zero());
+        assert_eq!(r.cubes(), f.cubes());
+    }
+}

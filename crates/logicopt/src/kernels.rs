@@ -1,0 +1,167 @@
+//! Kernel and co-kernel enumeration (Brayton–McMullen).
+//!
+//! A *kernel* of a cover `F` is a cube-free quotient of `F` by a cube (its
+//! *co-kernel*). Kernels are the candidate multi-cube divisors used by
+//! extraction.
+
+use crate::division::{common_cube, cube_divide, is_cube_free};
+use netlist::{Cube, Lit, Sop};
+
+/// A kernel with one of its co-kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// The cube-free quotient.
+    pub kernel: Sop,
+    /// The cube it was divided out by.
+    pub co_kernel: Cube,
+}
+
+/// Enumerate all kernels of `f` (level-0 and higher), including `f` itself
+/// when it is cube-free. Duplicate kernels (same cube set) are removed.
+pub fn kernels(f: &Sop) -> Vec<Kernel> {
+    let mut out: Vec<Kernel> = Vec::new();
+    if f.is_zero() || f.cube_count() < 2 {
+        return out;
+    }
+    let width = f.width();
+    // Make f cube-free first.
+    let cc = common_cube(f);
+    let base = if cc.is_tautology() {
+        f.clone()
+    } else {
+        Sop::from_cubes(width, f.cubes().iter().map(|c| cube_divide(c, &cc).expect("common cube divides")).collect())
+    };
+    if is_cube_free(&base) {
+        out.push(Kernel { kernel: base.clone(), co_kernel: cc.clone() });
+    }
+    kernels_rec(&base, &cc, 0, &mut out);
+    // Deduplicate by kernel cube set.
+    let mut seen: Vec<Vec<Cube>> = Vec::new();
+    out.retain(|k| {
+        let mut cubes = k.kernel.cubes().to_vec();
+        cubes.sort();
+        if seen.contains(&cubes) {
+            false
+        } else {
+            seen.push(cubes);
+            true
+        }
+    });
+    out
+}
+
+fn kernels_rec(f: &Sop, co: &Cube, start_lit: usize, out: &mut Vec<Kernel>) {
+    let width = f.width();
+    // literals indexed 0..2*width: 2*i = positive(i), 2*i+1 = negative(i)
+    for lit_idx in start_lit..2 * width {
+        let pos = lit_idx / 2;
+        let phase = if lit_idx % 2 == 0 { Lit::Pos } else { Lit::Neg };
+        let count = f.cubes().iter().filter(|c| c.lit(pos) == phase).count();
+        if count < 2 {
+            continue;
+        }
+        let lit_cube = Cube::literal(width, pos, phase == Lit::Pos);
+        let quotient: Vec<Cube> = f
+            .cubes()
+            .iter()
+            .filter_map(|c| cube_divide(c, &lit_cube))
+            .collect();
+        let q = Sop::from_cubes(width, quotient);
+        let cc = common_cube(&q);
+        // Skip if the common cube contains a literal with smaller index —
+        // that kernel was (or will be) found from that literal instead.
+        let mut skip = false;
+        for (i, l) in cc.bound_lits() {
+            let idx = 2 * i + if l == Lit::Pos { 0 } else { 1 };
+            if idx < lit_idx {
+                skip = true;
+                break;
+            }
+        }
+        if skip {
+            continue;
+        }
+        let cube_free: Vec<Cube> = q
+            .cubes()
+            .iter()
+            .map(|c| cube_divide(c, &cc).expect("common cube divides"))
+            .collect();
+        let h = Sop::from_cubes(width, cube_free);
+        let new_co = co
+            .and(&lit_cube)
+            .and_then(|c| c.and(&cc))
+            .expect("co-kernel literals are compatible");
+        if h.cube_count() >= 2 {
+            out.push(Kernel { kernel: h.clone(), co_kernel: new_co.clone() });
+            kernels_rec(&h, &new_co, lit_idx + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_kernels() {
+        // f = a·c + a·d + b·c + b·d + e  (vars a=0 b=1 c=2 d=3 e=4)
+        // kernels: {c+d} (co a and b), {a+b} (co c and d), f itself.
+        let f = Sop::parse(5, &["1-1--", "1--1-", "-11--", "-1-1-", "----1"]).unwrap();
+        let ks = kernels(&f);
+        let kernel_strings: Vec<String> =
+            ks.iter().map(|k| k.kernel.to_string()).collect();
+        assert!(
+            kernel_strings.iter().any(|s| s == "--1-- + ---1-"),
+            "missing kernel c+d in {kernel_strings:?}"
+        );
+        assert!(
+            kernel_strings.iter().any(|s| s == "1---- + -1---"),
+            "missing kernel a+b in {kernel_strings:?}"
+        );
+        assert!(
+            kernel_strings.iter().any(|s| s.split(" + ").count() == 5),
+            "missing top-level kernel in {kernel_strings:?}"
+        );
+    }
+
+    #[test]
+    fn kernels_are_cube_free() {
+        let f = Sop::parse(4, &["11--", "1-1-", "1--1", "-111"]).unwrap();
+        for k in kernels(&f) {
+            assert!(is_cube_free(&k.kernel), "kernel {} not cube-free", k.kernel);
+        }
+    }
+
+    #[test]
+    fn kernel_times_cokernel_is_subset_of_f() {
+        use crate::division::divide;
+        let f = Sop::parse(4, &["11--", "1-1-", "0-11", "--11"]).unwrap();
+        for k in kernels(&f) {
+            // Dividing f by the kernel must give a non-empty quotient
+            // containing the co-kernel.
+            let (q, _r) = divide(&f, &k.kernel);
+            assert!(
+                q.cubes().contains(&k.co_kernel),
+                "co-kernel {} not in quotient {q} for kernel {}",
+                k.co_kernel,
+                k.kernel
+            );
+        }
+    }
+
+    #[test]
+    fn single_cube_has_no_kernels() {
+        let f = Sop::parse(3, &["110"]).unwrap();
+        assert!(kernels(&f).is_empty());
+    }
+
+    #[test]
+    fn cube_with_common_factor() {
+        // f = a·b + a·c = a(b + c): kernel {b+c} with co-kernel a.
+        let f = Sop::parse(3, &["11-", "1-1"]).unwrap();
+        let ks = kernels(&f);
+        assert_eq!(ks.len(), 1);
+        assert_eq!(ks[0].kernel.to_string(), "-1- + --1"); // b + c over width 3
+        assert_eq!(ks[0].co_kernel.to_string(), "1--");
+    }
+}

@@ -1,0 +1,128 @@
+//! Optimization scripts: the `rugged`-like preparation used by the paper.
+
+use crate::eliminate::eliminate;
+use crate::extract::extract;
+use crate::simplify::simplify_network;
+use crate::sweep::sweep;
+use netlist::Network;
+
+/// Before/after statistics of a script run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptReport {
+    /// Literal count before.
+    pub literals_before: usize,
+    /// Literal count after.
+    pub literals_after: usize,
+    /// Logic node count before.
+    pub nodes_before: usize,
+    /// Logic node count after.
+    pub nodes_after: usize,
+}
+
+/// Run the `rugged`-like technology-independent optimization script:
+/// sweep → simplify → eliminate(−1) → extract → simplify → sweep, iterated
+/// twice. Every experiment in the paper starts from such an optimized
+/// network (its Section 4 uses the SIS rugged script for the same purpose).
+pub fn rugged_like(net: &mut Network) -> ScriptReport {
+    let literals_before = net.literal_count();
+    let nodes_before = net.logic_count();
+    for _ in 0..2 {
+        sweep(net);
+        simplify_network(net);
+        eliminate(net, -1);
+        extract(net, 0);
+        simplify_network(net);
+        sweep(net);
+    }
+    ScriptReport {
+        literals_before,
+        literals_after: net.literal_count(),
+        nodes_before,
+        nodes_after: net.logic_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::parse_blif;
+
+    fn equivalent(a: &Network, b: &Network) -> bool {
+        let n = a.inputs().len();
+        for bits in 0..(1u64 << n) {
+            let v: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            if a.eval_outputs(&v) != b.eval_outputs(&v) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn rugged_preserves_function_and_reduces_cost() {
+        let mut net = parse_blif(
+            ".model t\n.inputs a b c d\n.outputs f g\n\
+             .names a b x\n11 1\n10 1\n\
+             .names x c y\n11 1\n\
+             .names a c d z\n1-1 1\n11- 1\n\
+             .names y z d f\n1-- 1\n-11 1\n\
+             .names y z g\n11 1\n.end\n",
+        )
+        .unwrap()
+        .network;
+        let orig = net.clone();
+        let rep = rugged_like(&mut net);
+        net.check().unwrap();
+        assert!(equivalent(&orig, &net));
+        assert!(rep.literals_after <= rep.literals_before);
+    }
+
+    #[test]
+    fn rugged_is_idempotentish() {
+        // A second run must not increase the literal count.
+        let mut net = parse_blif(
+            ".model t\n.inputs a b c d e\n.outputs f g\n\
+             .names a b c f\n1-1 1\n-11 1\n011 1\n\
+             .names a b d e g\n1-1- 1\n-11- 1\n---1 1\n.end\n",
+        )
+        .unwrap()
+        .network;
+        rugged_like(&mut net);
+        let lits1 = net.literal_count();
+        rugged_like(&mut net);
+        assert!(net.literal_count() <= lits1);
+        net.check().unwrap();
+    }
+
+    #[test]
+    fn randomized_networks_survive_the_script() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for trial in 0..8 {
+            let mut blif = String::from(".model r\n.inputs a b c d e\n.outputs o0 o1\n");
+            // two levels of random nodes
+            for (name, ins) in [("m0", "a b c"), ("m1", "c d e"), ("m2", "a d e")] {
+                blif.push_str(&format!(".names {ins} {name}\n"));
+                for _ in 0..rng.gen_range(1..4) {
+                    let row: String =
+                        (0..3).map(|_| ['0', '1', '-'][rng.gen_range(0..3)]).collect();
+                    blif.push_str(&format!("{row} 1\n"));
+                }
+            }
+            for (out, ins) in [("o0", "m0 m1 e"), ("o1", "m1 m2 a")] {
+                blif.push_str(&format!(".names {ins} {out}\n"));
+                for _ in 0..rng.gen_range(1..4) {
+                    let row: String =
+                        (0..3).map(|_| ['0', '1', '-'][rng.gen_range(0..3)]).collect();
+                    blif.push_str(&format!("{row} 1\n"));
+                }
+            }
+            blif.push_str(".end\n");
+            let mut net = parse_blif(&blif).unwrap().network;
+            let orig = net.clone();
+            rugged_like(&mut net);
+            net.check().unwrap();
+            assert!(equivalent(&orig, &net), "trial {trial} diverged:\n{blif}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-node two-level minimization ("espresso-lite").
+//!
+//! EXPAND each cube against the off-set (computed by exact complement),
+//! then make the cover IRREDUNDANT. This does not guarantee a minimum
+//! cover like full Espresso, but removes redundant literals and cubes —
+//! which is what the rugged script's `simplify` contributes before
+//! decomposition.
+
+use netlist::{Cube, Lit, Network, Sop};
+
+/// Minimize one cover. The result is functionally equivalent, with
+/// literal count less than or equal to the input's.
+pub fn simplify_sop(sop: &Sop) -> Sop {
+    if sop.is_zero() {
+        return sop.clone();
+    }
+    if sop.is_tautology() {
+        return Sop::one(sop.width());
+    }
+    let off = sop.complement();
+    let mut cover = sop.clone();
+    cover.make_scc_minimal();
+
+    // EXPAND: try to free each bound literal of each cube; keep the freed
+    // literal if the enlarged cube stays disjoint from the off-set.
+    let mut expanded: Vec<Cube> = Vec::with_capacity(cover.cube_count());
+    for cube in cover.cubes() {
+        let mut c = cube.clone();
+        let bound: Vec<usize> = c.bound_lits().map(|(i, _)| i).collect();
+        for i in bound {
+            let saved = c.lit(i);
+            c.set_lit(i, Lit::Free);
+            let hits_off = off.cubes().iter().any(|o| o.and(&c).is_some());
+            if hits_off {
+                c.set_lit(i, saved);
+            }
+        }
+        expanded.push(c);
+    }
+    let mut result = Sop::from_cubes(sop.width(), expanded);
+    result.make_scc_minimal();
+
+    // IRREDUNDANT: drop any cube covered by the union of the others.
+    let mut cubes: Vec<Cube> = result.cubes().to_vec();
+    let mut i = 0;
+    while i < cubes.len() {
+        let candidate = cubes[i].clone();
+        let rest: Vec<Cube> = cubes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, c)| c.clone())
+            .collect();
+        let rest_sop = Sop::from_cubes(sop.width(), rest);
+        if rest_sop.covers_cube(&candidate) {
+            cubes.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Sop::from_cubes(sop.width(), cubes)
+}
+
+/// Report of a network simplify pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyReport {
+    /// Nodes whose cover changed.
+    pub nodes_changed: usize,
+    /// Total literals removed.
+    pub literals_removed: usize,
+}
+
+/// Simplify every logic node of the network. Also shrinks node support
+/// when simplification drops all uses of a fanin.
+pub fn simplify_network(net: &mut Network) -> SimplifyReport {
+    let mut report = SimplifyReport::default();
+    let ids: Vec<_> = net.logic_ids().collect();
+    for id in ids {
+        let node = net.node(id);
+        let old = node.sop().expect("logic node").clone();
+        let fanins = node.fanins().to_vec();
+        let new = simplify_sop(&old);
+        if new == old {
+            continue;
+        }
+        let old_lits = old.literal_count();
+        let new_lits = new.literal_count();
+        let (shrunk, kept) = new.shrink_support();
+        let kept_fanins: Vec<_> = kept.iter().map(|&i| fanins[i]).collect();
+        net.replace_function(id, kept_fanins, shrunk);
+        report.nodes_changed += 1;
+        report.literals_removed += old_lits.saturating_sub(new_lits);
+    }
+    net.sweep_dangling();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::parse_blif;
+
+    fn check_equiv(a: &Sop, b: &Sop) {
+        assert!(a.equivalent(b), "covers differ: {a} vs {b}");
+    }
+
+    #[test]
+    fn redundant_literal_removed() {
+        // a·b + a·!b = a
+        let f = Sop::parse(2, &["11", "10"]).unwrap();
+        let s = simplify_sop(&f);
+        check_equiv(&f, &s);
+        assert_eq!(s.cube_count(), 1);
+        assert_eq!(s.literal_count(), 1);
+    }
+
+    #[test]
+    fn consensus_redundancy_removed() {
+        // a·b + !a·c + b·c : the consensus cube b·c is redundant.
+        let f = Sop::parse(3, &["11-", "0-1", "-11"]).unwrap();
+        let s = simplify_sop(&f);
+        check_equiv(&f, &s);
+        assert_eq!(s.cube_count(), 2);
+    }
+
+    #[test]
+    fn constants_are_stable() {
+        assert!(simplify_sop(&Sop::zero(3)).is_zero());
+        assert!(simplify_sop(&Sop::one(3)).is_tautology());
+        // Hidden tautology: a + !a
+        let f = Sop::parse(1, &["1", "0"]).unwrap();
+        assert!(simplify_sop(&f).is_tautology());
+    }
+
+    #[test]
+    fn never_increases_literals_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let w = rng.gen_range(1..=5);
+            let ncubes = rng.gen_range(1..=6);
+            let cubes: Vec<Cube> = (0..ncubes)
+                .map(|_| {
+                    let lits: Vec<Lit> = (0..w)
+                        .map(|_| match rng.gen_range(0..3) {
+                            0 => Lit::Neg,
+                            1 => Lit::Pos,
+                            _ => Lit::Free,
+                        })
+                        .collect();
+                    Cube::new(lits)
+                })
+                .collect();
+            let f = Sop::from_cubes(w, cubes);
+            let s = simplify_sop(&f);
+            check_equiv(&f, &s);
+            assert!(s.literal_count() <= f.literal_count());
+        }
+    }
+
+    #[test]
+    fn network_simplify_preserves_function_and_support() {
+        let mut net = parse_blif(
+            ".model t\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n10- 1\n.end\n",
+        )
+        .unwrap()
+        .network;
+        let orig = net.clone();
+        let rep = simplify_network(&mut net);
+        net.check().unwrap();
+        assert!(rep.nodes_changed >= 1);
+        for bits in 0..8u32 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(orig.eval_outputs(&v), net.eval_outputs(&v));
+        }
+        // f should now be just `a` with support {a}.
+        let f = net.find("f").unwrap();
+        assert_eq!(net.node(f).fanins().len(), 1);
+    }
+}

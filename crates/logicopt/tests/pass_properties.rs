@@ -1,0 +1,138 @@
+//! Property-based tests: every optimization pass preserves network
+//! function and never corrupts structure, on randomized SOP networks.
+
+use netlist::{Cube, Lit, Network, Sop};
+use proptest::prelude::*;
+
+/// Build a random two-level-of-nodes network from a compact recipe.
+fn build_network(recipe: &NetworkRecipe) -> Network {
+    let mut net = Network::new("prop");
+    let pis: Vec<_> = (0..recipe.inputs)
+        .map(|i| net.add_input(format!("i{i}")).expect("fresh"))
+        .collect();
+    let mut pool = pis.clone();
+    for (k, node) in recipe.nodes.iter().enumerate() {
+        let mut fanins = Vec::new();
+        for &sel in &node.fanins {
+            let cand = pool[sel % pool.len()];
+            if !fanins.contains(&cand) {
+                fanins.push(cand);
+            }
+        }
+        if fanins.is_empty() {
+            fanins.push(pool[0]);
+        }
+        let w = fanins.len();
+        let cubes: Vec<Cube> = node
+            .cubes
+            .iter()
+            .map(|cube| {
+                let lits: Vec<Lit> = (0..w)
+                    .map(|i| match cube.get(i).copied().unwrap_or(2) % 3 {
+                        0 => Lit::Neg,
+                        1 => Lit::Pos,
+                        _ => Lit::Free,
+                    })
+                    .collect();
+                Cube::new(lits)
+            })
+            .collect();
+        let sop = Sop::from_cubes(w, cubes);
+        let id = net.add_logic(format!("n{k}"), fanins, sop).expect("fresh");
+        pool.push(id);
+    }
+    for (o, &sel) in recipe.outputs.iter().enumerate() {
+        net.add_output(format!("o{o}"), pool[sel % pool.len()]);
+    }
+    net.sweep_dangling();
+    net
+}
+
+#[derive(Debug, Clone)]
+struct NodeRecipe {
+    fanins: Vec<usize>,
+    cubes: Vec<Vec<u8>>,
+}
+
+#[derive(Debug, Clone)]
+struct NetworkRecipe {
+    inputs: usize,
+    nodes: Vec<NodeRecipe>,
+    outputs: Vec<usize>,
+}
+
+fn arb_recipe() -> impl Strategy<Value = NetworkRecipe> {
+    let node = (
+        proptest::collection::vec(0usize..64, 1..4),
+        proptest::collection::vec(proptest::collection::vec(0u8..3, 0..4), 1..4),
+    )
+        .prop_map(|(fanins, cubes)| NodeRecipe { fanins, cubes });
+    (
+        Just(6usize),
+        proptest::collection::vec(node, 2..8),
+        proptest::collection::vec(0usize..64, 1..4),
+    )
+        .prop_map(|(inputs, nodes, outputs)| NetworkRecipe { inputs, nodes, outputs })
+}
+
+fn equivalent(a: &Network, b: &Network) -> bool {
+    let n = a.inputs().len();
+    for bits in 0..(1u64 << n) {
+        let v: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        if a.eval_outputs(&v) != b.eval_outputs(&v) {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sweep_preserves_function(recipe in arb_recipe()) {
+        let net = build_network(&recipe);
+        let mut opt = net.clone();
+        logicopt::sweep::sweep(&mut opt);
+        prop_assert!(opt.check().is_ok());
+        prop_assert!(equivalent(&net, &opt));
+    }
+
+    #[test]
+    fn simplify_preserves_function_and_never_grows(recipe in arb_recipe()) {
+        let net = build_network(&recipe);
+        let mut opt = net.clone();
+        logicopt::simplify::simplify_network(&mut opt);
+        prop_assert!(opt.check().is_ok());
+        prop_assert!(equivalent(&net, &opt));
+        prop_assert!(opt.literal_count() <= net.literal_count());
+    }
+
+    #[test]
+    fn eliminate_preserves_function(recipe in arb_recipe()) {
+        let net = build_network(&recipe);
+        let mut opt = net.clone();
+        logicopt::eliminate::eliminate(&mut opt, -1);
+        prop_assert!(opt.check().is_ok());
+        prop_assert!(equivalent(&net, &opt));
+        prop_assert!(opt.literal_count() <= net.literal_count());
+    }
+
+    #[test]
+    fn extract_preserves_function(recipe in arb_recipe()) {
+        let net = build_network(&recipe);
+        let mut opt = net.clone();
+        logicopt::extract::extract(&mut opt, 0);
+        prop_assert!(opt.check().is_ok());
+        prop_assert!(equivalent(&net, &opt));
+    }
+
+    #[test]
+    fn rugged_script_preserves_function(recipe in arb_recipe()) {
+        let net = build_network(&recipe);
+        let mut opt = net.clone();
+        logicopt::rugged_like(&mut opt);
+        prop_assert!(opt.check().is_ok());
+        prop_assert!(equivalent(&net, &opt));
+    }
+}

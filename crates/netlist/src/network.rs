@@ -1,0 +1,707 @@
+//! Multi-level Boolean networks.
+//!
+//! A [`Network`] is a DAG of named nodes. Each internal node carries a local
+//! function as a [`Sop`] over its fanins; primary inputs carry no function.
+//! Primary outputs are named references to nodes.
+
+use crate::sop::Sop;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node within one [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of the node in the network arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The functional content of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeFunc {
+    /// Primary input: no local function.
+    Input,
+    /// Internal (or constant) node with a SOP over its fanins.
+    Logic(Sop),
+}
+
+/// One node of a network.
+#[derive(Debug, Clone)]
+pub struct Node {
+    name: String,
+    func: NodeFunc,
+    fanins: Vec<NodeId>,
+    fanouts: Vec<NodeId>,
+    alive: bool,
+}
+
+impl Node {
+    /// Node name (unique within the network).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Local function.
+    pub fn func(&self) -> &NodeFunc {
+        &self.func
+    }
+
+    /// The SOP of a logic node, or `None` for a primary input.
+    pub fn sop(&self) -> Option<&Sop> {
+        match &self.func {
+            NodeFunc::Input => None,
+            NodeFunc::Logic(s) => Some(s),
+        }
+    }
+
+    /// Fanin nodes, in SOP variable-position order.
+    pub fn fanins(&self) -> &[NodeId] {
+        &self.fanins
+    }
+
+    /// Fanout nodes (unordered, without duplicates).
+    pub fn fanouts(&self) -> &[NodeId] {
+        &self.fanouts
+    }
+
+    /// True for primary inputs.
+    pub fn is_input(&self) -> bool {
+        matches!(self.func, NodeFunc::Input)
+    }
+
+    /// Literal count of the local function (0 for inputs).
+    pub fn literal_count(&self) -> usize {
+        self.sop().map_or(0, Sop::literal_count)
+    }
+}
+
+/// Error raised by [`Network`] construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A node name was used twice.
+    DuplicateName(String),
+    /// A referenced name does not exist.
+    UnknownName(String),
+    /// A SOP width does not match the fanin count.
+    WidthMismatch { node: String, width: usize, fanins: usize },
+    /// The network contains a combinational cycle through the named node.
+    Cycle(String),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::DuplicateName(n) => write!(f, "duplicate node name `{n}`"),
+            NetworkError::UnknownName(n) => write!(f, "unknown node name `{n}`"),
+            NetworkError::WidthMismatch { node, width, fanins } => {
+                write!(f, "node `{node}` has SOP width {width} but {fanins} fanins")
+            }
+            NetworkError::Cycle(n) => write!(f, "combinational cycle through node `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A combinational multi-level Boolean network.
+#[derive(Clone)]
+pub struct Network {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<(String, NodeId)>,
+    by_name: HashMap<String, NodeId>,
+    fresh: u64,
+}
+
+impl Network {
+    /// Create an empty network with the given model name.
+    pub fn new(name: impl Into<String>) -> Network {
+        Network {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            by_name: HashMap::new(),
+            fresh: 0,
+        }
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Set the model name.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs as `(name, node)` pairs in declaration order.
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Access a node.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this network or the node was removed.
+    pub fn node(&self, id: NodeId) -> &Node {
+        let n = &self.nodes[id.index()];
+        assert!(n.alive, "access to removed node {:?}", id);
+        n
+    }
+
+    /// Look up a node by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All live node ids (inputs and logic), in arena order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// All live logic node ids, in arena order.
+    pub fn logic_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive && !n.is_input())
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Number of live logic nodes.
+    pub fn logic_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive && !n.is_input()).count()
+    }
+
+    /// Total literal count over all logic nodes.
+    pub fn literal_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).map(Node::literal_count).sum()
+    }
+
+    /// Size of the arena (including removed slots); valid bound for dense
+    /// per-node side tables indexed by [`NodeId::index`].
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Add a primary input.
+    ///
+    /// # Errors
+    /// Returns [`NetworkError::DuplicateName`] if the name exists.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Result<NodeId, NetworkError> {
+        let name = name.into();
+        let id = self.insert_node(name, NodeFunc::Input, Vec::new())?;
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Add a logic node with the given fanins and SOP.
+    ///
+    /// # Errors
+    /// Returns an error on duplicate name or SOP/fanin width mismatch.
+    pub fn add_logic(
+        &mut self,
+        name: impl Into<String>,
+        fanins: Vec<NodeId>,
+        sop: Sop,
+    ) -> Result<NodeId, NetworkError> {
+        let name = name.into();
+        if sop.width() != fanins.len() {
+            return Err(NetworkError::WidthMismatch {
+                node: name,
+                width: sop.width(),
+                fanins: fanins.len(),
+            });
+        }
+        let id = self.insert_node(name, NodeFunc::Logic(sop), fanins.clone())?;
+        for f in fanins {
+            self.add_fanout(f, id);
+        }
+        Ok(id)
+    }
+
+    /// Declare a primary output referring to `node` under `name`.
+    pub fn add_output(&mut self, name: impl Into<String>, node: NodeId) {
+        self.outputs.push((name.into(), node));
+    }
+
+    /// Rename a node.
+    ///
+    /// # Errors
+    /// Returns [`NetworkError::DuplicateName`] if the new name is taken by a
+    /// different node.
+    pub fn rename_node(&mut self, id: NodeId, new_name: impl Into<String>) -> Result<(), NetworkError> {
+        let new_name = new_name.into();
+        if let Some(&existing) = self.by_name.get(&new_name) {
+            if existing == id {
+                return Ok(());
+            }
+            return Err(NetworkError::DuplicateName(new_name));
+        }
+        let old = std::mem::replace(&mut self.nodes[id.index()].name, new_name.clone());
+        self.by_name.remove(&old);
+        self.by_name.insert(new_name, id);
+        Ok(())
+    }
+
+    /// Generate a fresh node name with the given prefix, guaranteed unused.
+    pub fn fresh_name(&mut self, prefix: &str) -> String {
+        loop {
+            let name = format!("{prefix}{}", self.fresh);
+            self.fresh += 1;
+            if !self.by_name.contains_key(&name) {
+                return name;
+            }
+        }
+    }
+
+    fn insert_node(
+        &mut self,
+        name: String,
+        func: NodeFunc,
+        fanins: Vec<NodeId>,
+    ) -> Result<NodeId, NetworkError> {
+        if self.by_name.contains_key(&name) {
+            return Err(NetworkError::DuplicateName(name));
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.nodes.push(Node { name, func, fanins, fanouts: Vec::new(), alive: true });
+        Ok(id)
+    }
+
+    fn add_fanout(&mut self, from: NodeId, to: NodeId) {
+        let fo = &mut self.nodes[from.index()].fanouts;
+        if !fo.contains(&to) {
+            fo.push(to);
+        }
+    }
+
+    fn remove_fanout(&mut self, from: NodeId, to: NodeId) {
+        // Only remove if `to` no longer references `from` at all.
+        if self.nodes[to.index()].fanins.contains(&from) {
+            return;
+        }
+        self.nodes[from.index()].fanouts.retain(|&x| x != to);
+    }
+
+    /// Replace the local function (and fanins) of a logic node.
+    ///
+    /// # Panics
+    /// Panics if the node is a primary input or if the SOP width does not
+    /// match the new fanin count.
+    pub fn replace_function(&mut self, id: NodeId, fanins: Vec<NodeId>, sop: Sop) {
+        assert!(!self.node(id).is_input(), "cannot replace a primary input's function");
+        assert_eq!(sop.width(), fanins.len(), "SOP width must equal fanin count");
+        let old = std::mem::take(&mut self.nodes[id.index()].fanins);
+        self.nodes[id.index()].func = NodeFunc::Logic(sop);
+        self.nodes[id.index()].fanins = fanins.clone();
+        for f in old {
+            self.remove_fanout(f, id);
+        }
+        for f in fanins {
+            self.add_fanout(f, id);
+        }
+    }
+
+    /// Redirect every use of `old` (fanins of other nodes and primary
+    /// outputs) to `new`, merging duplicate fanin entries in consumers.
+    ///
+    /// # Panics
+    /// Panics if `new` lies in the transitive fanout of `old` (would create a
+    /// cycle).
+    pub fn substitute(&mut self, old: NodeId, new: NodeId) {
+        assert_ne!(old, new);
+        assert!(
+            !self.transitive_fanout_contains(old, new),
+            "substitute would create a cycle"
+        );
+        let fanouts = self.nodes[old.index()].fanouts.clone();
+        for fo in fanouts {
+            let node = &self.nodes[fo.index()];
+            let mut fanins = node.fanins.clone();
+            let sop = node.sop().expect("fanout must be a logic node").clone();
+            // Build the new fanin list: replace `old` with `new`, dedup.
+            let mut new_fanins: Vec<NodeId> = Vec::with_capacity(fanins.len());
+            for f in &mut fanins {
+                if *f == old {
+                    *f = new;
+                }
+            }
+            for &f in &fanins {
+                if !new_fanins.contains(&f) {
+                    new_fanins.push(f);
+                }
+            }
+            let perm: Vec<usize> = fanins
+                .iter()
+                .map(|f| new_fanins.iter().position(|g| g == f).expect("fanin present"))
+                .collect();
+            let mut new_sop = sop.remap(&perm, new_fanins.len());
+            new_sop.make_scc_minimal();
+            self.replace_function(fo, new_fanins, new_sop);
+        }
+        for (_, out) in self.outputs.iter_mut() {
+            if *out == old {
+                *out = new;
+            }
+        }
+    }
+
+    fn transitive_fanout_contains(&self, from: NodeId, target: NodeId) -> bool {
+        if from == target {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut seen = vec![false; self.nodes.len()];
+        while let Some(n) = stack.pop() {
+            for &fo in &self.nodes[n.index()].fanouts {
+                if fo == target {
+                    return true;
+                }
+                if !seen[fo.index()] {
+                    seen[fo.index()] = true;
+                    stack.push(fo);
+                }
+            }
+        }
+        false
+    }
+
+    /// Remove a node that has no fanouts and is not a primary output.
+    ///
+    /// # Panics
+    /// Panics if the node still has fanouts or is referenced by an output.
+    pub fn remove_node(&mut self, id: NodeId) {
+        assert!(self.nodes[id.index()].fanouts.is_empty(), "node still has fanouts");
+        assert!(
+            !self.outputs.iter().any(|(_, o)| *o == id),
+            "node is a primary output"
+        );
+        let fanins = std::mem::take(&mut self.nodes[id.index()].fanins);
+        self.nodes[id.index()].alive = false;
+        let name = self.nodes[id.index()].name.clone();
+        self.by_name.remove(&name);
+        self.inputs.retain(|&i| i != id);
+        for f in fanins {
+            self.remove_fanout(f, id);
+        }
+    }
+
+    /// Remove all logic nodes not reachable from any primary output.
+    /// Returns the number of nodes removed. Primary inputs are kept.
+    pub fn sweep_dangling(&mut self) -> usize {
+        let mut removed = 0;
+        loop {
+            let dead: Vec<NodeId> = self
+                .logic_ids()
+                .filter(|&id| {
+                    self.node(id).fanouts().is_empty()
+                        && !self.outputs.iter().any(|(_, o)| *o == id)
+                })
+                .collect();
+            if dead.is_empty() {
+                return removed;
+            }
+            for id in dead {
+                self.remove_node(id);
+                removed += 1;
+            }
+        }
+    }
+
+    /// Topological order over live nodes (inputs first). Fails on cycles.
+    ///
+    /// # Errors
+    /// Returns [`NetworkError::Cycle`] naming a node on a combinational cycle.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, NetworkError> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut order = Vec::with_capacity(self.node_count());
+        let mut queue = std::collections::VecDeque::new();
+        for id in self.node_ids() {
+            // Count unique fanins: a node may legitimately use the same
+            // fanin at several SOP positions, but only one fanout edge
+            // exists per (fanin, node) pair.
+            let fanins = &self.node(id).fanins;
+            let unique = fanins
+                .iter()
+                .enumerate()
+                .filter(|(i, f)| !fanins[..*i].contains(f))
+                .count();
+            indeg[id.index()] = unique;
+            if unique == 0 {
+                queue.push_back(id);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for &fo in &self.nodes[id.index()].fanouts {
+                indeg[fo.index()] -= 1;
+                if indeg[fo.index()] == 0 {
+                    queue.push_back(fo);
+                }
+            }
+        }
+        if order.len() != self.node_count() {
+            let stuck = self
+                .node_ids()
+                .find(|id| indeg[id.index()] > 0)
+                .map(|id| self.node(id).name().to_string())
+                .unwrap_or_default();
+            return Err(NetworkError::Cycle(stuck));
+        }
+        Ok(order)
+    }
+
+    /// Evaluate the network on a primary-input assignment (in
+    /// [`Network::inputs`] order). Returns values indexed by
+    /// [`NodeId::index`] over the arena.
+    ///
+    /// # Panics
+    /// Panics if `pi_values.len()` differs from the input count or the
+    /// network is cyclic.
+    pub fn eval(&self, pi_values: &[bool]) -> Vec<bool> {
+        assert_eq!(pi_values.len(), self.inputs.len(), "PI value count mismatch");
+        let order = self.topo_order().expect("network must be acyclic");
+        let mut values = vec![false; self.nodes.len()];
+        for (i, &pi) in self.inputs.iter().enumerate() {
+            values[pi.index()] = pi_values[i];
+        }
+        for id in order {
+            let node = self.node(id);
+            if let Some(sop) = node.sop() {
+                let assignment: Vec<bool> =
+                    node.fanins.iter().map(|f| values[f.index()]).collect();
+                values[id.index()] = sop.eval(&assignment);
+            }
+        }
+        values
+    }
+
+    /// Evaluate only the primary outputs on a PI assignment.
+    pub fn eval_outputs(&self, pi_values: &[bool]) -> Vec<bool> {
+        let values = self.eval(pi_values);
+        self.outputs.iter().map(|&(_, o)| values[o.index()]).collect()
+    }
+
+    /// Structural sanity check: name map, fanin/fanout symmetry, widths,
+    /// acyclicity, liveness of references.
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn check(&self) -> Result<(), NetworkError> {
+        for id in self.node_ids() {
+            let node = self.node(id);
+            if self.by_name.get(node.name()) != Some(&id) {
+                return Err(NetworkError::UnknownName(node.name().to_string()));
+            }
+            if let Some(sop) = node.sop() {
+                if sop.width() != node.fanins.len() {
+                    return Err(NetworkError::WidthMismatch {
+                        node: node.name().to_string(),
+                        width: sop.width(),
+                        fanins: node.fanins.len(),
+                    });
+                }
+            }
+            for &f in node.fanins() {
+                if !self.nodes[f.index()].alive {
+                    return Err(NetworkError::UnknownName(format!(
+                        "dead fanin of `{}`",
+                        node.name()
+                    )));
+                }
+                if !self.nodes[f.index()].fanouts.contains(&id) {
+                    return Err(NetworkError::UnknownName(format!(
+                        "missing fanout edge {} -> {}",
+                        self.nodes[f.index()].name,
+                        node.name()
+                    )));
+                }
+            }
+            for &fo in node.fanouts() {
+                if !self.nodes[fo.index()].alive || !self.nodes[fo.index()].fanins.contains(&id) {
+                    return Err(NetworkError::UnknownName(format!(
+                        "stale fanout edge {} -> {}",
+                        node.name(),
+                        self.nodes[fo.index()].name
+                    )));
+                }
+            }
+        }
+        for (name, o) in &self.outputs {
+            if !self.nodes[o.index()].alive {
+                return Err(NetworkError::UnknownName(format!("output `{name}`")));
+            }
+        }
+        self.topo_order().map(|_| ())
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Network `{}`: {} inputs, {} outputs, {} logic nodes, {} literals",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.logic_count(),
+            self.literal_count()
+        )?;
+        for id in self.node_ids() {
+            let n = self.node(id);
+            if let Some(sop) = n.sop() {
+                let fanins: Vec<&str> =
+                    n.fanins().iter().map(|&x| self.node(x).name()).collect();
+                writeln!(f, "  {} = f({}) : {}", n.name(), fanins.join(", "), sop)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sop::Sop;
+
+    fn and_or_net() -> (Network, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        // f = (a & b) | c
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let g = net
+            .add_logic("g", vec![a, b], Sop::parse(2, &["11"]).unwrap())
+            .unwrap();
+        let f = net
+            .add_logic("f", vec![g, c], Sop::parse(2, &["1-", "-1"]).unwrap())
+            .unwrap();
+        net.add_output("f", f);
+        (net, a, b, c, g, f)
+    }
+
+    #[test]
+    fn build_eval_check() {
+        let (net, ..) = and_or_net();
+        net.check().unwrap();
+        assert_eq!(net.eval_outputs(&[true, true, false]), vec![true]);
+        assert_eq!(net.eval_outputs(&[true, false, false]), vec![false]);
+        assert_eq!(net.eval_outputs(&[false, false, true]), vec![true]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut net = Network::new("t");
+        net.add_input("a").unwrap();
+        assert!(matches!(net.add_input("a"), Err(NetworkError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let err = net.add_logic("g", vec![a], Sop::parse(2, &["11"]).unwrap());
+        assert!(matches!(err, Err(NetworkError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn topo_order_parents_first() {
+        let (net, ..) = and_or_net();
+        let order = net.topo_order().unwrap();
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        for id in net.node_ids() {
+            for &fi in net.node(id).fanins() {
+                assert!(pos(fi) < pos(id));
+            }
+        }
+    }
+
+    #[test]
+    fn substitute_rewires_and_stays_valid() {
+        let (mut net, a, _b, c, g, f) = and_or_net();
+        // Replace g by a: f becomes a | c.
+        net.substitute(g, a);
+        net.check().unwrap();
+        assert_eq!(net.node(f).fanins(), &[a, c]);
+        assert_eq!(net.eval_outputs(&[true, false, false]), vec![true]);
+        assert_eq!(net.eval_outputs(&[false, false, false]), vec![false]);
+        // g is now dangling.
+        assert_eq!(net.sweep_dangling(), 1);
+        net.check().unwrap();
+    }
+
+    #[test]
+    fn substitute_merges_duplicate_fanins() {
+        // f = g & c, then substitute g := c gives f = c.
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let c = net.add_input("c").unwrap();
+        let g = net
+            .add_logic("g", vec![a], Sop::parse(1, &["1"]).unwrap())
+            .unwrap();
+        let f = net
+            .add_logic("f", vec![g, c], Sop::parse(2, &["11"]).unwrap())
+            .unwrap();
+        net.add_output("f", f);
+        net.substitute(g, c);
+        net.check().unwrap();
+        assert_eq!(net.node(f).fanins(), &[c]);
+        assert_eq!(net.eval_outputs(&[false, true]), vec![true]);
+    }
+
+    #[test]
+    fn sweep_removes_chains() {
+        let (mut net, _a, _b, _c, _g, f) = and_or_net();
+        // Add a dangling chain.
+        let x = net
+            .add_logic("x", vec![f], Sop::parse(1, &["1"]).unwrap())
+            .unwrap();
+        let _y = net
+            .add_logic("y", vec![x], Sop::parse(1, &["0"]).unwrap())
+            .unwrap();
+        assert_eq!(net.sweep_dangling(), 2);
+        net.check().unwrap();
+    }
+
+    #[test]
+    fn replace_function_updates_edges() {
+        let (mut net, a, _b, c, g, _f) = and_or_net();
+        net.replace_function(g, vec![c, a], Sop::parse(2, &["10"]).unwrap());
+        net.check().unwrap();
+        // g = c & !a
+        assert_eq!(net.eval_outputs(&[false, false, true]), vec![true]);
+    }
+
+    #[test]
+    fn fresh_names_unique() {
+        let mut net = Network::new("t");
+        net.add_input("n0").unwrap();
+        let f1 = net.fresh_name("n");
+        let f2 = net.fresh_name("n");
+        assert_ne!(f1, "n0");
+        assert_ne!(f1, f2);
+    }
+}

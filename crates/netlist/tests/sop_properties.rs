@@ -1,0 +1,119 @@
+//! Property-based tests of the SOP algebra: complement, tautology,
+//! containment, division-by-evaluation, support shrinking.
+
+use netlist::{Cube, Lit, Sop};
+use proptest::prelude::*;
+
+fn arb_lit() -> impl Strategy<Value = Lit> {
+    prop_oneof![Just(Lit::Neg), Just(Lit::Pos), Just(Lit::Free)]
+}
+
+fn arb_cube(width: usize) -> impl Strategy<Value = Cube> {
+    proptest::collection::vec(arb_lit(), width..=width).prop_map(Cube::new)
+}
+
+fn arb_sop(width: usize) -> impl Strategy<Value = Sop> {
+    proptest::collection::vec(arb_cube(width), 0..6)
+        .prop_map(move |cubes| Sop::from_cubes(width, cubes))
+}
+
+const W: usize = 5;
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0..(1u32 << W)).map(|bits| (0..W).map(|i| bits >> i & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn complement_is_semantic_negation(f in arb_sop(W)) {
+        let g = f.complement();
+        for a in assignments() {
+            prop_assert_eq!(f.eval(&a), !g.eval(&a));
+        }
+    }
+
+    #[test]
+    fn double_complement_is_identity_semantically(f in arb_sop(W)) {
+        let g = f.complement().complement();
+        for a in assignments() {
+            prop_assert_eq!(f.eval(&a), g.eval(&a));
+        }
+    }
+
+    #[test]
+    fn tautology_check_is_exact(f in arb_sop(W)) {
+        let all_ones = assignments().all(|a| f.eval(&a));
+        prop_assert_eq!(f.is_tautology(), all_ones);
+    }
+
+    #[test]
+    fn scc_minimization_preserves_function(f in arb_sop(W)) {
+        let mut g = f.clone();
+        g.make_scc_minimal();
+        prop_assert!(g.cube_count() <= f.cube_count());
+        for a in assignments() {
+            prop_assert_eq!(f.eval(&a), g.eval(&a));
+        }
+    }
+
+    #[test]
+    fn and_or_are_pointwise(f in arb_sop(W), g in arb_sop(W)) {
+        let fg = f.and(&g);
+        let f_or_g = f.or(&g);
+        for a in assignments() {
+            prop_assert_eq!(fg.eval(&a), f.eval(&a) && g.eval(&a));
+            prop_assert_eq!(f_or_g.eval(&a), f.eval(&a) || g.eval(&a));
+        }
+    }
+
+    #[test]
+    fn covers_cube_iff_implication(f in arb_sop(W), c in arb_cube(W)) {
+        let covered = f.covers_cube(&c);
+        let implied = assignments().all(|a| !c.eval(&a) || f.eval(&a));
+        prop_assert_eq!(covered, implied);
+    }
+
+    #[test]
+    fn equivalence_is_semantic(f in arb_sop(W), g in arb_sop(W)) {
+        let eq = f.equivalent(&g);
+        let same = assignments().all(|a| f.eval(&a) == g.eval(&a));
+        prop_assert_eq!(eq, same);
+    }
+
+    #[test]
+    fn shrink_support_preserves_function(f in arb_sop(W)) {
+        let (g, kept) = f.shrink_support();
+        for a in assignments() {
+            let reduced: Vec<bool> = kept.iter().map(|&i| a[i]).collect();
+            prop_assert_eq!(f.eval(&a), g.eval(&reduced));
+        }
+    }
+
+    #[test]
+    fn cofactor_shannon_expansion(f in arb_sop(W), v in 0usize..W) {
+        let hi = f.cofactor(v, true);
+        let lo = f.cofactor(v, false);
+        for a in assignments() {
+            let expect = if a[v] { hi.eval(&a) } else { lo.eval(&a) };
+            prop_assert_eq!(f.eval(&a), expect);
+        }
+    }
+
+    #[test]
+    fn cube_and_is_intersection(a in arb_cube(W), b in arb_cube(W)) {
+        match a.and(&b) {
+            Some(c) => {
+                for x in assignments() {
+                    prop_assert_eq!(c.eval(&x), a.eval(&x) && b.eval(&x));
+                }
+            }
+            None => {
+                for x in assignments() {
+                    prop_assert!(!(a.eval(&x) && b.eval(&x)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Bring your own cell library, and preview the §5 future-work extension:
+//! power-aware common-divisor extraction in the technology-independent
+//! phase.
+//!
+//! Run with: `cargo run --release --example custom_library`
+
+use genlib::Library;
+use lowpower::flow::{run_flow, FlowConfig, Method};
+use lowpower::logicopt::{extract, extract_power_aware};
+use netlist::parse_blif;
+
+/// A minimal NAND2/INV library, as a user might supply it.
+const TINY_GENLIB: &str = "\
+GATE inv  1.0 O=!a;     PIN a INV 1.0 999 0.4 0.9 0.4 0.9
+GATE nand 2.0 O=!(a*b); PIN * INV 1.0 999 0.6 1.0 0.6 1.0
+GATE nor  2.0 O=!(a+b); PIN * INV 1.1 999 0.8 1.2 0.8 1.2
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Part 1: map against a user library ---------------------------
+    let lib = Library::parse(TINY_GENLIB)?;
+    let net = benchgen::structured::ripple_adder(4);
+    let r = run_flow(&net, &lib, Method::V, &FlowConfig::default())?;
+    println!("4-bit adder on a NAND/NOR/INV-only library:");
+    println!(
+        "  {} gates, area {:.1}, delay {:.2} ns, power {:.1} µW",
+        r.report.gate_count, r.report.area, r.report.delay, r.glitch_power_uw
+    );
+    for (cell, count) in r.mapped.gate_histogram(&lib) {
+        println!("    {cell} × {count}");
+    }
+
+    // ---- Part 2: power-aware extraction (§5 future work) --------------
+    // Common cube a·b over quiet signals (P = 0.95, shared 4×) vs cube
+    // c·d over maximally active signals (P = 0.5, shared 3×): plain
+    // extraction maximizes literal savings and picks a·b; the power-aware
+    // pass picks c·d, unloading the active nets.
+    let blif = ".model d\n.inputs a b c d e5 e6 e7 e8\n.outputs f1 f2 f3 f4 g1 g2 g3\n\
+                .names a b e5 f1\n111 1\n.names a b e6 f2\n111 1\n.names a b e7 f3\n111 1\n.names a b e8 f4\n111 1\n\
+                .names c d e5 g1\n111 1\n.names c d e6 g2\n111 1\n.names c d e7 g3\n111 1\n.end\n";
+    let probs = vec![0.95, 0.95, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5];
+    let base = parse_blif(blif)?.network;
+
+    // Switched-load estimate: Σ over literal occurrences of the loaded
+    // signal's switching — the net-capacitance proxy the pass minimizes.
+    let switched_load = |net: &netlist::Network| {
+        let act = lowpower::activity::analyze(
+            net,
+            &probs,
+            lowpower::activity::TransitionModel::StaticCmos,
+        );
+        let mut total = 0.0;
+        for id in net.logic_ids() {
+            let node = net.node(id);
+            for c in node.sop().expect("logic").cubes() {
+                for (i, _) in c.bound_lits() {
+                    total += act.switching(node.fanins()[i]);
+                }
+            }
+        }
+        total
+    };
+
+    let mut plain = base.clone();
+    extract(&mut plain, 1);
+    let mut aware = base.clone();
+    extract_power_aware(&mut aware, &probs, 1);
+
+    println!("\npower-aware extraction (one divisor allowed):");
+    println!(
+        "  plain fast-extract:   {} literals, switched load {:.3}",
+        plain.literal_count(),
+        switched_load(&plain)
+    );
+    println!(
+        "  power-aware extract:  {} literals, switched load {:.3}",
+        aware.literal_count(),
+        switched_load(&aware)
+    );
+    Ok(())
+}

@@ -1,0 +1,290 @@
+//! The end-to-end synthesis flow of the paper's experiments.
+//!
+//! `BLIF → rugged-like optimization → power-efficient NAND decomposition →
+//! power-efficient technology mapping → area/delay/power report`.
+//!
+//! The six method combinations of Tables 2 and 3 are the cross product of
+//! three [`DecompStyle`]s and two
+//! `MapObjective`s; [`run_method`] runs
+//! one of them end to end on an already-optimized network so that all six
+//! share the identical starting point, exactly as in the paper.
+
+use activity::{analyze, PowerEnv, TransitionModel};
+use genlib::Library;
+use lowpower_core::decomp::{decompose_network, DecompOptions, DecompStyle};
+use lowpower_core::map::{map_network, MapObjective, MapOptions, SubjectAig};
+use lowpower_core::power::{evaluate, MappedReport};
+use netlist::Network;
+use rand::SeedableRng;
+use std::fmt;
+
+/// One of the paper's six synthesis method combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Area-delay mapping, conventional (balanced) decomposition.
+    I,
+    /// Area-delay mapping, MINPOWER decomposition.
+    II,
+    /// Area-delay mapping, bounded-height MINPOWER decomposition.
+    III,
+    /// Power-delay mapping, conventional decomposition.
+    IV,
+    /// Power-delay mapping, MINPOWER decomposition.
+    V,
+    /// Power-delay mapping, bounded-height MINPOWER decomposition.
+    VI,
+}
+
+impl Method {
+    /// All six methods in table order.
+    pub const ALL: [Method; 6] =
+        [Method::I, Method::II, Method::III, Method::IV, Method::V, Method::VI];
+
+    /// The decomposition style of this method.
+    pub fn decomp_style(self) -> DecompStyle {
+        match self {
+            Method::I | Method::IV => DecompStyle::Conventional,
+            Method::II | Method::V => DecompStyle::MinPower,
+            Method::III | Method::VI => DecompStyle::BoundedMinPower,
+        }
+    }
+
+    /// The mapping objective of this method.
+    pub fn map_objective(self) -> MapObjective {
+        match self {
+            Method::I | Method::II | Method::III => MapObjective::Area,
+            Method::IV | Method::V | Method::VI => MapObjective::Power,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Method::I => "I",
+            Method::II => "II",
+            Method::III => "III",
+            Method::IV => "IV",
+            Method::V => "V",
+            Method::VI => "VI",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Flow configuration shared by all methods.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// `P(pi = 1)` per input; `None` = 0.5 everywhere (the paper's
+    /// independent-input default).
+    pub pi_probs: Option<Vec<f64>>,
+    /// Transition model.
+    pub model: TransitionModel,
+    /// Electrical environment (5 V / 20 MHz by default).
+    pub env: PowerEnv,
+    /// Capacitive load on each primary output, in load units.
+    pub po_load: f64,
+    /// ε for curve pruning.
+    pub epsilon: f64,
+    /// Required time at every primary output (estimated-arrival space);
+    /// `None` targets each run's fastest achievable arrival.
+    pub required_time: Option<f64>,
+    /// Use exact pairwise correlations (eqs. 7–9) during decomposition.
+    pub use_correlations: bool,
+    /// Vectors for the glitch-aware power simulation (the Ghosh-estimator
+    /// stand-in used for the reported power numbers).
+    pub sim_vectors: usize,
+    /// Seed for the glitch simulation.
+    pub sim_seed: u64,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            pi_probs: None,
+            model: TransitionModel::StaticCmos,
+            env: PowerEnv::new(),
+            po_load: 1.0,
+            epsilon: 0.05,
+            required_time: None,
+            use_correlations: false,
+            sim_vectors: 600,
+            sim_seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Error from the end-to-end flow.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Mapping failed.
+    Map(lowpower_core::map::MapError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Map(e) => write!(f, "mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<lowpower_core::map::MapError> for FlowError {
+    fn from(e: lowpower_core::map::MapError) -> Self {
+        FlowError::Map(e)
+    }
+}
+
+/// Optimize a network with the rugged-like script (shared starting point of
+/// all methods, as in the paper's Section 4).
+pub fn optimize(net: &Network) -> Network {
+    let mut n = net.clone();
+    logicopt::rugged_like(&mut n);
+    n
+}
+
+/// Split constant-driven primary outputs from a decomposed network: the
+/// mapper has no tie cells, and a constant net dissipates no dynamic power
+/// anyway. Returns the mappable network and the `(name, value)` constant
+/// outputs.
+///
+/// # Panics
+/// Panics if a constant node still has logic fanouts (run the optimizer's
+/// sweep first — it folds internal constants).
+pub fn strip_constant_outputs(net: &Network) -> (Network, Vec<(String, bool)>) {
+    let is_const = |id: netlist::NodeId| {
+        net.node(id)
+            .sop()
+            .map(|s| s.is_zero() || s.has_tautology_cube())
+            .unwrap_or(false)
+    };
+    let const_outputs: Vec<(String, bool)> = net
+        .outputs()
+        .iter()
+        .filter(|(_, o)| is_const(*o))
+        .map(|(n, o)| {
+            (n.clone(), net.node(*o).sop().expect("logic").has_tautology_cube())
+        })
+        .collect();
+    if const_outputs.is_empty() {
+        return (net.clone(), Vec::new());
+    }
+    let mut out = Network::new(net.name().to_string());
+    let mut map = std::collections::HashMap::new();
+    for &pi in net.inputs() {
+        map.insert(pi, out.add_input(net.node(pi).name().to_string()).expect("fresh"));
+    }
+    for id in net.topo_order().expect("acyclic") {
+        let node = net.node(id);
+        let Some(sop) = node.sop() else { continue };
+        if is_const(id) {
+            assert!(
+                node.fanouts().is_empty(),
+                "constant node `{}` feeds logic; sweep the network first",
+                node.name()
+            );
+            continue;
+        }
+        let fanins = node.fanins().iter().map(|f| map[f]).collect();
+        let nid = out
+            .add_logic(node.name().to_string(), fanins, sop.clone())
+            .expect("names stay unique");
+        map.insert(id, nid);
+    }
+    for (name, o) in net.outputs() {
+        if !is_const(*o) {
+            out.add_output(name.clone(), map[o]);
+        }
+    }
+    (out, const_outputs)
+}
+
+/// Result of one method run.
+#[derive(Debug)]
+pub struct MethodResult {
+    /// Mapped-netlist evaluation (area / delay / zero-delay power).
+    pub report: MappedReport,
+    /// Glitch-aware average power in µW (event-driven simulation with the
+    /// library delay model — the measurement the paper's tables report).
+    pub glitch_power_uw: f64,
+    /// Depth (unit-delay levels) of the decomposed network.
+    pub decomp_depth: i64,
+    /// Total switching activity of the decomposed network's logic nodes
+    /// (the MINPOWER objective value).
+    pub decomp_switching: f64,
+    /// The mapped netlist.
+    pub mapped: lowpower_core::map::MappedNetwork,
+}
+
+/// Run one method on an **already optimized** network.
+///
+/// # Errors
+/// Returns [`FlowError`] when the network cannot be mapped (e.g. constant
+/// outputs survive optimization).
+pub fn run_method(
+    optimized: &Network,
+    lib: &Library,
+    method: Method,
+    cfg: &FlowConfig,
+) -> Result<MethodResult, FlowError> {
+    let pi_probs = cfg
+        .pi_probs
+        .clone()
+        .unwrap_or_else(|| vec![0.5; optimized.inputs().len()]);
+    let dopts = DecompOptions {
+        style: method.decomp_style(),
+        model: cfg.model,
+        pi_probs: Some(pi_probs.clone()),
+        required_time: None,
+        use_correlations: cfg.use_correlations,
+    };
+    let decomposed = decompose_network(optimized, &dopts);
+    let (mappable, _const_outputs) = strip_constant_outputs(&decomposed.network);
+    let act = analyze(&mappable, &pi_probs, cfg.model);
+    let decomp_switching = act.total_switching(mappable.logic_ids());
+    let aig = SubjectAig::from_network(&mappable, &act)?;
+    let mopts = MapOptions {
+        objective: method.map_objective(),
+        epsilon: cfg.epsilon,
+        model: cfg.model,
+        env: cfg.env,
+        po_load: cfg.po_load,
+        required_time: cfg.required_time,
+        ..MapOptions::power()
+    };
+    let mapped = map_network(&aig, lib, &mopts)?;
+    let report = evaluate(&mapped, lib, &cfg.env, cfg.model, cfg.po_load);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.sim_seed);
+    let glitch = lowpower_core::power::simulate_glitch_power(
+        &mapped,
+        lib,
+        &cfg.env,
+        &pi_probs,
+        cfg.sim_vectors,
+        &mut rng,
+        cfg.po_load,
+    );
+    Ok(MethodResult {
+        report,
+        glitch_power_uw: glitch.power_uw,
+        decomp_depth: decomposed.depth,
+        decomp_switching,
+        mapped,
+    })
+}
+
+/// Convenience: optimize then run a single method from raw BLIF-level input.
+///
+/// # Errors
+/// See [`run_method`].
+pub fn run_flow(
+    net: &Network,
+    lib: &Library,
+    method: Method,
+    cfg: &FlowConfig,
+) -> Result<MethodResult, FlowError> {
+    let optimized = optimize(net);
+    run_method(&optimized, lib, method, cfg)
+}

@@ -1,0 +1,16 @@
+//! End-to-end low-power logic synthesis flow.
+//!
+//! This umbrella crate re-exports the workspace crates and provides the
+//! high-level [`flow`] API tying them together: BLIF in → technology
+//! independent optimization → power-efficient NAND decomposition →
+//! power-efficient technology mapping → power/area/delay report.
+
+pub use activity;
+pub use bdd;
+pub use benchgen;
+pub use genlib;
+pub use logicopt;
+pub use lowpower_core as core;
+pub use netlist;
+
+pub mod flow;

@@ -1,0 +1,218 @@
+//! `lowpower` — command-line front end for the synthesis flow.
+//!
+//! ```text
+//! lowpower synth  --blif CIRCUIT.blif [--lib LIB.genlib] [--method VI]
+//!                 [--required NS] [--out MAPPED.blif] [--correlations]
+//! lowpower report --blif CIRCUIT.blif [--lib LIB.genlib]
+//! lowpower decomp --blif CIRCUIT.blif [--style minpower|conventional|bounded]
+//! ```
+//!
+//! `synth` runs optimize → decompose → map → evaluate for one method and
+//! prints area / delay / power (zero-delay and glitch-aware); with `--out`
+//! it writes the mapped netlist as structural BLIF. `report` runs all six
+//! paper methods and prints a comparison table. `decomp` stops after
+//! technology decomposition and prints network statistics.
+
+use genlib::{builtin::lib2_like, Library};
+use lowpower::flow::{optimize, run_method, FlowConfig, Method};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  lowpower synth  --blif FILE [--lib FILE] [--method I..VI] [--required NS] [--out FILE] [--correlations]");
+            eprintln!("  lowpower report --blif FILE [--lib FILE]");
+            eprintln!("  lowpower decomp --blif FILE [--style conventional|minpower|bounded]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Opts {
+    blif: Option<String>,
+    lib: Option<String>,
+    method: Method,
+    required: Option<f64>,
+    out: Option<String>,
+    style: String,
+    correlations: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        blif: None,
+        lib: None,
+        method: Method::VI,
+        required: None,
+        out: None,
+        style: "minpower".to_string(),
+        correlations: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> Result<&String, String> {
+            args.get(i + 1).ok_or_else(|| format!("`{}` needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--blif" => {
+                o.blif = Some(need(i)?.clone());
+                i += 1;
+            }
+            "--lib" => {
+                o.lib = Some(need(i)?.clone());
+                i += 1;
+            }
+            "--method" => {
+                o.method = match need(i)?.as_str() {
+                    "I" | "1" => Method::I,
+                    "II" | "2" => Method::II,
+                    "III" | "3" => Method::III,
+                    "IV" | "4" => Method::IV,
+                    "V" | "5" => Method::V,
+                    "VI" | "6" => Method::VI,
+                    other => return Err(format!("unknown method `{other}`")),
+                };
+                i += 1;
+            }
+            "--required" => {
+                o.required = Some(
+                    need(i)?
+                        .parse()
+                        .map_err(|_| "bad --required value".to_string())?,
+                );
+                i += 1;
+            }
+            "--out" => {
+                o.out = Some(need(i)?.clone());
+                i += 1;
+            }
+            "--style" => {
+                o.style = need(i)?.clone();
+                i += 1;
+            }
+            "--correlations" => o.correlations = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn load_inputs(o: &Opts) -> Result<(netlist::Network, Library), String> {
+    let path = o.blif.as_ref().ok_or("--blif is required")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let net = netlist::parse_blif(&text)
+        .map_err(|e| format!("{path}: {e}"))?
+        .network;
+    let lib = match &o.lib {
+        Some(lp) => {
+            let lt =
+                std::fs::read_to_string(lp).map_err(|e| format!("reading {lp}: {e}"))?;
+            Library::parse(&lt).map_err(|e| format!("{lp}: {e}"))?
+        }
+        None => lib2_like(),
+    };
+    Ok((net, lib))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".to_string());
+    };
+    let o = parse_opts(&args[1..])?;
+    match cmd.as_str() {
+        "synth" => synth(&o),
+        "report" => report(&o),
+        "decomp" => decomp(&o),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn synth(o: &Opts) -> Result<(), String> {
+    let (net, lib) = load_inputs(o)?;
+    let cfg = FlowConfig {
+        required_time: o.required,
+        use_correlations: o.correlations,
+        ..FlowConfig::default()
+    };
+    let optimized = optimize(&net);
+    let r = run_method(&optimized, &lib, o.method, &cfg).map_err(|e| e.to_string())?;
+    println!("circuit   : {} ({} PIs, {} POs)", net.name(), net.inputs().len(), net.outputs().len());
+    println!("method    : {} ({:?} decomposition, {:?} mapping)", o.method, o.method.decomp_style(), o.method.map_objective());
+    println!("gates     : {}", r.report.gate_count);
+    println!("area      : {:.1}", r.report.area);
+    println!("delay     : {:.2} ns", r.report.delay);
+    println!("power     : {:.1} µW (zero-delay), {:.1} µW (glitch-aware)", r.report.power_uw, r.glitch_power_uw);
+    if let Some(out) = &o.out {
+        let text = r.mapped.to_blif(&lib, &format!("{}_mapped", net.name()));
+        std::fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote mapped netlist to {out}");
+    }
+    Ok(())
+}
+
+fn report(o: &Opts) -> Result<(), String> {
+    let (net, lib) = load_inputs(o)?;
+    let optimized = optimize(&net);
+    // Shared timing target as in the paper harness.
+    let probe = run_method(&optimized, &lib, Method::I, &FlowConfig::default())
+        .map_err(|e| e.to_string())?;
+    let cfg = FlowConfig {
+        required_time: Some(o.required.unwrap_or(probe.mapped.estimated_fastest * 1.10)),
+        use_correlations: o.correlations,
+        ..FlowConfig::default()
+    };
+    println!("{:<7} {:>8} {:>9} {:>12} {:>12}", "method", "area", "delay", "power µW", "glitch µW");
+    for m in Method::ALL {
+        let r = run_method(&optimized, &lib, m, &cfg).map_err(|e| e.to_string())?;
+        println!(
+            "{:<7} {:>8.1} {:>9.2} {:>12.1} {:>12.1}",
+            m.to_string(),
+            r.report.area,
+            r.report.delay,
+            r.report.power_uw,
+            r.glitch_power_uw
+        );
+    }
+    Ok(())
+}
+
+fn decomp(o: &Opts) -> Result<(), String> {
+    use lowpower::core::decomp::{decompose_network, DecompOptions, DecompStyle};
+    let (net, _lib) = load_inputs(o)?;
+    let style = match o.style.as_str() {
+        "conventional" => DecompStyle::Conventional,
+        "minpower" => DecompStyle::MinPower,
+        "bounded" => DecompStyle::BoundedMinPower,
+        other => return Err(format!("unknown style `{other}`")),
+    };
+    let optimized = optimize(&net);
+    let d = decompose_network(
+        &optimized,
+        &DecompOptions { use_correlations: o.correlations, ..DecompOptions::new(style) },
+    );
+    let probs = vec![0.5; optimized.inputs().len()];
+    let act = lowpower::activity::analyze(
+        &d.network,
+        &probs,
+        lowpower::activity::TransitionModel::StaticCmos,
+    );
+    println!("style            : {style:?}");
+    println!("nodes            : {}", d.network.logic_count());
+    println!("depth            : {} levels", d.depth);
+    println!(
+        "total switching  : {:.3} transitions/cycle",
+        act.total_switching(d.network.logic_ids())
+    );
+    if !d.applied_bounds.is_empty() {
+        println!("height bounds applied to {} nodes", d.applied_bounds.len());
+    }
+    println!("{}", netlist::write_blif(&d.network));
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Property-based tests on the decomposition algorithms (proptest).
+
+use activity::TransitionModel;
+use lowpower::core::decomp::{
+    bounded_minpower_tree, exhaustive_minpower, huffman_tree, minpower_tree,
+    modified_huffman_tree, package_merge_levels, DecompObjective, GateKind,
+};
+use proptest::prelude::*;
+
+fn probs(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..0.99, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 2.2: Huffman is optimal for domino p-type AND decomposition.
+    #[test]
+    fn huffman_optimal_domino_p_and(ps in probs(5)) {
+        let obj = DecompObjective::new(TransitionModel::DominoP, GateKind::And);
+        let tree = huffman_tree(&ps, obj);
+        let (best, _) = exhaustive_minpower(&ps, obj);
+        prop_assert!(tree.internal_cost(obj) <= best + 1e-9);
+    }
+
+    /// Theorem 2.2 dual: n-type OR decomposition.
+    #[test]
+    fn huffman_optimal_domino_n_or(ps in probs(5)) {
+        let obj = DecompObjective::new(TransitionModel::DominoN, GateKind::Or);
+        let tree = huffman_tree(&ps, obj);
+        let (best, _) = exhaustive_minpower(&ps, obj);
+        prop_assert!(tree.internal_cost(obj) <= best + 1e-9);
+    }
+
+    /// The greedy can never beat the exhaustive oracle (oracle sanity).
+    #[test]
+    fn greedy_never_beats_oracle(ps in probs(5)) {
+        let obj = DecompObjective::new(TransitionModel::StaticCmos, GateKind::And);
+        let tree = modified_huffman_tree(&ps, obj);
+        let (best, _) = exhaustive_minpower(&ps, obj);
+        prop_assert!(tree.internal_cost(obj) >= best - 1e-9);
+    }
+
+    /// Every decomposition covers each leaf exactly once.
+    #[test]
+    fn trees_are_permutations(ps in probs(7)) {
+        let obj = DecompObjective::new(TransitionModel::StaticCmos, GateKind::Or);
+        let tree = minpower_tree(&ps, obj);
+        let depths = tree.leaf_depths();
+        prop_assert_eq!(depths.len(), 7);
+        prop_assert!(depths.iter().all(|&d| d != usize::MAX && d <= 6));
+    }
+
+    /// Bounded trees respect their bound and match Huffman when loose.
+    #[test]
+    fn bounded_respects_bound(ps in probs(6), tight in 0usize..2) {
+        let obj = DecompObjective::new(TransitionModel::DominoP, GateKind::And);
+        let min_bound = 3; // ceil(log2 6)
+        let bound = min_bound + tight;
+        let tree = bounded_minpower_tree(&ps, obj, bound).expect("feasible");
+        prop_assert!(tree.height() <= bound);
+        let loose = bounded_minpower_tree(&ps, obj, 6).expect("feasible");
+        let (best, _) = exhaustive_minpower(&ps, obj);
+        prop_assert!((loose.internal_cost(obj) - best).abs() < 1e-9,
+            "loose bound must recover the Huffman optimum");
+    }
+
+    /// Package-merge levels always satisfy Kraft equality and the bound.
+    #[test]
+    fn package_merge_kraft(ws in probs(6), extra in 0usize..3) {
+        let bound = 3 + extra;
+        let levels = package_merge_levels(&ws, bound).expect("feasible");
+        prop_assert!(levels.iter().all(|&l| l <= bound));
+        let kraft: f64 = levels.iter().map(|&l| 0.5f64.powi(l as i32)).sum();
+        prop_assert!((kraft - 1.0).abs() < 1e-9);
+    }
+
+    /// Merging order never changes the root probability (product of leaf
+    /// probabilities for AND trees) — only internal costs.
+    #[test]
+    fn root_probability_invariant(ps in probs(6)) {
+        let obj = DecompObjective::new(TransitionModel::DominoP, GateKind::And);
+        let h = huffman_tree(&ps, obj);
+        let g = modified_huffman_tree(&ps, obj);
+        let product: f64 = ps.iter().product();
+        prop_assert!((h.p_root() - product).abs() < 1e-9);
+        prop_assert!((g.p_root() - product).abs() < 1e-9);
+    }
+
+    /// Static-CMOS cost symmetry: complementing all probabilities leaves
+    /// every tree's switching cost unchanged for OR↔AND duality.
+    #[test]
+    fn static_and_or_duality(ps in probs(5)) {
+        let and_obj = DecompObjective::new(TransitionModel::StaticCmos, GateKind::And);
+        let or_obj = DecompObjective::new(TransitionModel::StaticCmos, GateKind::Or);
+        let qs: Vec<f64> = ps.iter().map(|p| 1.0 - p).collect();
+        let (and_best, _) = exhaustive_minpower(&ps, and_obj);
+        let (or_best, _) = exhaustive_minpower(&qs, or_obj);
+        // AND over p and OR over 1−p are De Morgan duals: identical
+        // internal switching under the static model.
+        prop_assert!((and_best - or_best).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the full decompose→map pipeline: functional
+//! equivalence on randomized networks under every style/objective, BLIF
+//! roundtrips of mapped netlists, and timing-model consistency.
+
+use activity::{analyze, TransitionModel};
+use benchgen::{random_network, RandomNetConfig};
+use genlib::builtin::lib2_like;
+use lowpower::core::decomp::{decompose_network, DecompOptions, DecompStyle};
+use lowpower::core::map::{map_network, MapOptions};
+use lowpower::core::map::SubjectAig;
+use lowpower::flow::strip_constant_outputs;
+use proptest::prelude::*;
+
+fn pipeline_equivalence(seed: u64, style: DecompStyle, power: bool) -> Result<(), TestCaseError> {
+    let net = random_network(&RandomNetConfig {
+        inputs: 7,
+        outputs: 3,
+        nodes: 18,
+        max_fanin: 3,
+        seed,
+    });
+    let d = decompose_network(&net, &DecompOptions::new(style));
+    let (mappable, consts) = strip_constant_outputs(&d.network);
+    if mappable.outputs().is_empty() {
+        return Ok(()); // everything constant — nothing to map
+    }
+    let probs = vec![0.5; mappable.inputs().len()];
+    let act = analyze(&mappable, &probs, TransitionModel::StaticCmos);
+    let aig = SubjectAig::from_network(&mappable, &act).expect("mappable network");
+    let lib = lib2_like();
+    let opts = if power { MapOptions::power() } else { MapOptions::area() };
+    let mapped = map_network(&aig, &lib, &opts).expect("maps");
+
+    // Exhaustive functional check against the ORIGINAL network.
+    let const_names: Vec<&str> = consts.iter().map(|(n, _)| n.as_str()).collect();
+    for bits in 0..(1u64 << 7) {
+        let pis: Vec<bool> = (0..7).map(|i| bits >> i & 1 == 1).collect();
+        let expect = net.eval_outputs(&pis);
+        let got = mapped.eval_outputs(&lib, &pis);
+        for (gi, (name, _)) in mapped.outputs.iter().enumerate() {
+            prop_assert!(!const_names.contains(&name.as_str()));
+            let oi = net
+                .outputs()
+                .iter()
+                .position(|(on, _)| on == name)
+                .expect("output exists in original");
+            prop_assert_eq!(got[gi], expect[oi], "output {} at {:?}", name, pis);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conventional_area_pipeline_equivalent(seed in 0u64..1000) {
+        pipeline_equivalence(seed, DecompStyle::Conventional, false)?;
+    }
+
+    #[test]
+    fn minpower_power_pipeline_equivalent(seed in 0u64..1000) {
+        pipeline_equivalence(seed, DecompStyle::MinPower, true)?;
+    }
+
+    #[test]
+    fn bounded_power_pipeline_equivalent(seed in 0u64..1000) {
+        pipeline_equivalence(seed, DecompStyle::BoundedMinPower, true)?;
+    }
+
+    #[test]
+    fn mapped_blif_roundtrips(seed in 0u64..1000) {
+        let net = random_network(&RandomNetConfig {
+            inputs: 6, outputs: 2, nodes: 12, max_fanin: 3, seed,
+        });
+        let d = decompose_network(&net, &DecompOptions::new(DecompStyle::MinPower));
+        let (mappable, _) = strip_constant_outputs(&d.network);
+        if mappable.outputs().is_empty() {
+            return Ok(());
+        }
+        let probs = vec![0.5; mappable.inputs().len()];
+        let act = analyze(&mappable, &probs, TransitionModel::StaticCmos);
+        let aig = SubjectAig::from_network(&mappable, &act).expect("mappable");
+        let lib = lib2_like();
+        let mapped = map_network(&aig, &lib, &MapOptions::power()).expect("maps");
+        let text = mapped.to_blif(&lib, "roundtrip");
+        let back = netlist::parse_blif(&text).expect("valid blif").network;
+        for bits in 0..(1u64 << 6) {
+            let pis: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(back.eval_outputs(&pis), mapped.eval_outputs(&lib, &pis));
+        }
+    }
+}
+
+#[test]
+fn estimated_timing_tracks_evaluated_timing() {
+    // The mapper's estimated arrivals (default load) must correlate with
+    // the evaluated STA delay: over a set of seeds, evaluated ≥ estimated
+    // fastest (actual loads are never lighter than the default on the
+    // critical path) and within a sane factor.
+    let lib = lib2_like();
+    for seed in [1u64, 2, 3, 4, 5] {
+        let net = random_network(&RandomNetConfig {
+            inputs: 8,
+            outputs: 4,
+            nodes: 25,
+            max_fanin: 3,
+            seed,
+        });
+        let d = decompose_network(&net, &DecompOptions::new(DecompStyle::MinPower));
+        let (mappable, _) = strip_constant_outputs(&d.network);
+        let probs = vec![0.5; mappable.inputs().len()];
+        let act = analyze(&mappable, &probs, TransitionModel::StaticCmos);
+        let aig = SubjectAig::from_network(&mappable, &act).expect("mappable");
+        let mapped = map_network(&aig, &lib, &MapOptions::area()).expect("maps");
+        let rep = lowpower::core::power::evaluate(
+            &mapped,
+            &lib,
+            &activity::PowerEnv::new(),
+            TransitionModel::StaticCmos,
+            1.0,
+        );
+        assert!(
+            rep.delay >= mapped.estimated_fastest * 0.5,
+            "seed {seed}: evaluated {} vs estimated {}",
+            rep.delay,
+            mapped.estimated_fastest
+        );
+        assert!(
+            rep.delay <= mapped.estimated_fastest * 6.0,
+            "seed {seed}: evaluated {} wildly above estimate {}",
+            rep.delay,
+            mapped.estimated_fastest
+        );
+    }
+}
