@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Continuous-integration gate: formatting, lints, build, tests.
+# Everything runs offline against the vendored workspace (Cargo.lock is
+# committed and all dependencies are path crates).
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "CI OK"

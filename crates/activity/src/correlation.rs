@@ -26,7 +26,10 @@ impl CorrelationMatrix {
                 joint[i][j] = if i == j { p[i] } else { p[i] * p[j] };
             }
         }
-        CorrelationMatrix { p: p.to_vec(), joint }
+        CorrelationMatrix {
+            p: p.to_vec(),
+            joint,
+        }
     }
 
     /// Build from explicit probabilities and joint matrix.
@@ -170,7 +173,7 @@ mod tests {
         assert!((m.p_one(a) - 0.5).abs() < 1e-12);
         // P(A∧k) must stay within [0, min(P(A), P(k))].
         let w = m.joint(0, a);
-        assert!(w >= 0.0 && w <= 0.5 + 1e-12);
+        assert!((0.0..=0.5 + 1e-12).contains(&w));
         // For identical signals the estimate is exact: P(A∧k) = 0.5.
         assert!((w - 0.5).abs() < 1e-12);
     }

@@ -18,7 +18,11 @@ pub struct PowerEnv {
 
 impl Default for PowerEnv {
     fn default() -> Self {
-        PowerEnv { vdd: 5.0, t_cycle: 1.0 / 20.0e6, cap_unit_farads: 20.0e-15 }
+        PowerEnv {
+            vdd: 5.0,
+            t_cycle: 1.0 / 20.0e6,
+            cap_unit_farads: 20.0e-15,
+        }
     }
 }
 
@@ -50,7 +54,11 @@ mod tests {
 
     #[test]
     fn power_formula() {
-        let env = PowerEnv { vdd: 5.0, t_cycle: 50e-9, cap_unit_farads: 20e-15 };
+        let env = PowerEnv {
+            vdd: 5.0,
+            t_cycle: 50e-9,
+            cap_unit_farads: 20e-15,
+        };
         // 0.5 · 20fF · 25V² / 50ns · 1.0 = 5 µW per load unit at E=1.
         let p = env.average_power_uw(1.0, 1.0);
         assert!((p - 5.0).abs() < 1e-9);

@@ -24,7 +24,11 @@ impl NetworkBdds {
     /// Panics if `pi_probs.len()` differs from the input count or the
     /// network is cyclic.
     pub fn build(net: &Network, pi_probs: &[f64]) -> NetworkBdds {
-        assert_eq!(pi_probs.len(), net.inputs().len(), "PI probability count mismatch");
+        assert_eq!(
+            pi_probs.len(),
+            net.inputs().len(),
+            "PI probability count mismatch"
+        );
         let mut manager = BddManager::new(net.inputs().len());
         let mut node_bdd: Vec<Option<Bdd>> = vec![None; net.arena_len()];
         for (i, &pi) in net.inputs().iter().enumerate() {
@@ -54,7 +58,11 @@ impl NetworkBdds {
             }
             node_bdd[id.index()] = Some(f);
         }
-        NetworkBdds { manager, node_bdd, pi_probs: pi_probs.to_vec() }
+        NetworkBdds {
+            manager,
+            node_bdd,
+            pi_probs: pi_probs.to_vec(),
+        }
     }
 
     /// The BDD of a node's global function.
@@ -73,14 +81,16 @@ impl NetworkBdds {
     /// Exact joint probability `P(a = 1 ∧ b = 1)`.
     pub fn joint(&mut self, a: NodeId, b: NodeId) -> f64 {
         let (fa, fb) = (self.bdd(a), self.bdd(b));
-        self.manager.joint_probability(fa, fb, &self.pi_probs.clone())
+        self.manager
+            .joint_probability(fa, fb, &self.pi_probs.clone())
     }
 
     /// Exact conditional probability `P(a = 1 | b = 1)`; `None` when
     /// `P(b = 1) = 0`.
     pub fn conditional(&mut self, a: NodeId, b: NodeId) -> Option<f64> {
         let (fa, fb) = (self.bdd(a), self.bdd(b));
-        self.manager.conditional_probability(fa, fb, &self.pi_probs.clone())
+        self.manager
+            .conditional_probability(fa, fb, &self.pi_probs.clone())
     }
 
     /// Underlying manager (e.g. for size statistics).
@@ -123,7 +133,11 @@ impl ActivityMap {
     /// [`NodeId::index`] (useful for tests and synthetic scenarios).
     pub fn from_p_one(p_one: Vec<f64>, model: TransitionModel) -> ActivityMap {
         let switching = p_one.iter().map(|&p| model.switching(p)).collect();
-        ActivityMap { p_one, switching, model }
+        ActivityMap {
+            p_one,
+            switching,
+            model,
+        }
     }
 }
 

@@ -27,7 +27,11 @@ const MAX_LOCAL_SUPPORT: usize = 20;
 /// Panics if `pi_probs.len()` differs from the input count or the network
 /// is cyclic.
 pub fn propagate_independent(net: &Network, pi_probs: &[f64]) -> Vec<f64> {
-    assert_eq!(pi_probs.len(), net.inputs().len(), "PI probability count mismatch");
+    assert_eq!(
+        pi_probs.len(),
+        net.inputs().len(),
+        "PI probability count mismatch"
+    );
     let mut p = vec![0.0f64; net.arena_len()];
     for (i, &pi) in net.inputs().iter().enumerate() {
         p[pi.index()] = pi_probs[i];
@@ -44,7 +48,11 @@ pub fn propagate_independent(net: &Network, pi_probs: &[f64]) -> Vec<f64> {
 /// Exact probability of a SOP over independent inputs with the given
 /// 1-probabilities, by Shannon expansion on the cover.
 pub fn sop_probability(sop: &Sop, probs: &[f64]) -> f64 {
-    assert_eq!(probs.len(), sop.width(), "probability per variable required");
+    assert_eq!(
+        probs.len(),
+        sop.width(),
+        "probability per variable required"
+    );
     if sop.is_zero() {
         return 0.0;
     }
@@ -54,7 +62,10 @@ pub fn sop_probability(sop: &Sop, probs: &[f64]) -> f64 {
     if sop.width() > MAX_LOCAL_SUPPORT {
         return 0.5;
     }
-    let Some(v) = sop.binate_split_var().or_else(|| sop.support().first().copied()) else {
+    let Some(v) = sop
+        .binate_split_var()
+        .or_else(|| sop.support().first().copied())
+    else {
         return 0.0;
     };
     let hi = sop.cofactor(v, true);
@@ -71,12 +82,12 @@ pub fn sop_probability(sop: &Sop, probs: &[f64]) -> f64 {
 ///
 /// # Panics
 /// Panics on length mismatches or a cyclic network.
-pub fn transition_density(
-    net: &Network,
-    pi_probs: &[f64],
-    pi_densities: &[f64],
-) -> Vec<f64> {
-    assert_eq!(pi_densities.len(), net.inputs().len(), "PI density count mismatch");
+pub fn transition_density(net: &Network, pi_probs: &[f64], pi_densities: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        pi_densities.len(),
+        net.inputs().len(),
+        "PI density count mismatch"
+    );
     let p = propagate_independent(net, pi_probs);
     let mut d = vec![0.0f64; net.arena_len()];
     for (i, &pi) in net.inputs().iter().enumerate() {
@@ -172,7 +183,10 @@ mod tests {
         let fast = propagate_independent(&net, &probs);
         let f = net.find("f").unwrap();
         let err = (exact.p_one(f) - fast[f.index()]).abs();
-        assert!(err > 0.01, "naive propagation should be visibly wrong here ({err})");
+        assert!(
+            err > 0.01,
+            "naive propagation should be visibly wrong here ({err})"
+        );
         // exact is 0.375; naive gives 0.25+0.25-0.0625 = 0.4375
         assert!((fast[f.index()] - 0.4375).abs() < 1e-12);
     }
@@ -219,7 +233,12 @@ mod tests {
             let a = analyze(&net, &probs, TransitionModel::StaticCmos);
             a.switching(f)
         };
-        assert!(d[f.index()] > exact, "najm {} vs exact {}", d[f.index()], exact);
+        assert!(
+            d[f.index()] > exact,
+            "najm {} vs exact {}",
+            d[f.index()],
+            exact
+        );
         assert!((d[f.index()] - 0.5).abs() < 1e-12);
         assert!((exact - 0.375).abs() < 1e-12);
     }

@@ -5,9 +5,38 @@
 //! vectors. Used to cross-validate the analytic BDD numbers — under the
 //! zero-delay, temporally independent model the two must agree within
 //! sampling error.
+//!
+//! Simulation is bit-parallel: 64 vectors are packed per machine word and
+//! one [`Network::eval_words`] pass evaluates all of them. The same kernel
+//! (word evaluation plus [`bernoulli_word`] input generation) backs the
+//! `verify` crate's random-simulation equivalence backend.
 
 use netlist::{Network, NodeId};
 use rand::Rng;
+
+/// One 64-lane word of independent Bernoulli samples: each bit of the
+/// result is 1 with probability `p` (clamped to `[0, 1]`).
+///
+/// `p = 0.5` takes the one-draw fast path; degenerate probabilities are
+/// exact (all-ones / all-zeros), so deterministic inputs never switch.
+pub fn bernoulli_word<R: Rng>(rng: &mut R, p: f64) -> u64 {
+    if p >= 1.0 {
+        return !0;
+    }
+    if p <= 0.0 {
+        return 0;
+    }
+    if p == 0.5 {
+        return rng.next_u64();
+    }
+    let mut w = 0u64;
+    for bit in 0..64 {
+        if rng.gen_bool(p) {
+            w |= 1 << bit;
+        }
+    }
+    w
+}
 
 /// Estimated activities from logic simulation.
 #[derive(Debug, Clone)]
@@ -36,6 +65,10 @@ impl SimActivity {
 
 /// Simulate `vectors` random input vectors and estimate per-node activity.
 ///
+/// The vector sequence is packed 64 per word (bit `k` of word `w` is vector
+/// `64·w + k`); transition counting follows that order, including across
+/// word boundaries.
+///
 /// # Panics
 /// Panics if `pi_probs.len()` differs from the input count, or if
 /// `vectors < 2` (at least one vector pair is needed for transitions).
@@ -45,31 +78,52 @@ pub fn simulate_activity<R: Rng>(
     vectors: usize,
     rng: &mut R,
 ) -> SimActivity {
-    assert_eq!(pi_probs.len(), net.inputs().len(), "PI probability count mismatch");
+    assert_eq!(
+        pi_probs.len(),
+        net.inputs().len(),
+        "PI probability count mismatch"
+    );
     assert!(vectors >= 2, "need at least two vectors");
     let arena = net.arena_len();
     let mut ones = vec![0u64; arena];
     let mut transitions = vec![0u64; arena];
-    let mut prev: Option<Vec<bool>> = None;
-    for _ in 0..vectors {
-        let pis: Vec<bool> = pi_probs.iter().map(|&p| rng.gen_bool(p.clamp(0.0, 1.0))).collect();
-        let values = net.eval(&pis);
-        for id in net.node_ids() {
-            if values[id.index()] {
-                ones[id.index()] += 1;
-            }
-            if let Some(prev) = &prev {
-                if prev[id.index()] != values[id.index()] {
-                    transitions[id.index()] += 1;
-                }
-            }
+    let mut last_bits = vec![0u64; arena];
+    let words = vectors.div_ceil(64);
+    let mut pi_words = vec![0u64; pi_probs.len()];
+    for w in 0..words {
+        for (word, &p) in pi_words.iter_mut().zip(pi_probs) {
+            *word = bernoulli_word(rng, p.clamp(0.0, 1.0));
         }
-        prev = Some(values);
+        let values = net.eval_words(&pi_words);
+        let lanes = if w + 1 == words { vectors - w * 64 } else { 64 };
+        let mask = if lanes == 64 {
+            !0u64
+        } else {
+            (1u64 << lanes) - 1
+        };
+        for id in net.node_ids() {
+            let v = values[id.index()] & mask;
+            ones[id.index()] += v.count_ones() as u64;
+            // Transitions between adjacent lanes inside this word…
+            let adjacent = (v ^ (v >> 1)) & (mask >> 1);
+            transitions[id.index()] += adjacent.count_ones() as u64;
+            // …and across the boundary from the previous word's last lane.
+            if w > 0 && last_bits[id.index()] != (v & 1) {
+                transitions[id.index()] += 1;
+            }
+            last_bits[id.index()] = v >> (lanes - 1) & 1;
+        }
     }
     let p_one = ones.iter().map(|&c| c as f64 / vectors as f64).collect();
-    let switching =
-        transitions.iter().map(|&c| c as f64 / (vectors - 1) as f64).collect();
-    SimActivity { p_one, switching, vectors }
+    let switching = transitions
+        .iter()
+        .map(|&c| c as f64 / (vectors - 1) as f64)
+        .collect();
+    SimActivity {
+        p_one,
+        switching,
+        vectors,
+    }
 }
 
 #[cfg(test)]
@@ -96,22 +150,55 @@ mod tests {
             let dp = (act.p_one(id) - sim.p_one(id)).abs();
             let ds = (act.switching(id) - sim.switching(id)).abs();
             assert!(dp < 0.01, "p_one mismatch at {}: {dp}", net.node(id).name());
-            assert!(ds < 0.01, "switching mismatch at {}: {ds}", net.node(id).name());
+            assert!(
+                ds < 0.01,
+                "switching mismatch at {}: {ds}",
+                net.node(id).name()
+            );
         }
     }
 
     #[test]
+    fn partial_final_word_statistics_are_sane() {
+        // A vector count far from a multiple of 64 must still normalize
+        // correctly (the masked tail lanes must not count).
+        let net = parse_blif(".model t\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n")
+            .unwrap()
+            .network;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let sim = simulate_activity(&net, &[0.5], 100_001, &mut rng);
+        let f = net.find("f").unwrap();
+        assert!((sim.p_one(f) - 0.5).abs() < 0.01, "p_one {}", sim.p_one(f));
+        assert!(
+            (sim.switching(f) - 0.5).abs() < 0.01,
+            "sw {}",
+            sim.switching(f)
+        );
+    }
+
+    #[test]
     fn deterministic_inputs_never_switch() {
-        let net = parse_blif(
-            ".model t\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n",
-        )
-        .unwrap()
-        .network;
+        let net = parse_blif(".model t\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n")
+            .unwrap()
+            .network;
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let sim = simulate_activity(&net, &[1.0, 1.0], 100, &mut rng);
         let f = net.find("f").unwrap();
         assert_eq!(sim.p_one(f), 1.0);
         assert_eq!(sim.switching(f), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_word_extremes_and_bias() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        assert_eq!(bernoulli_word(&mut rng, 1.0), !0);
+        assert_eq!(bernoulli_word(&mut rng, 0.0), 0);
+        let mut ones = 0u32;
+        for _ in 0..2000 {
+            ones += bernoulli_word(&mut rng, 0.25).count_ones();
+        }
+        let freq = ones as f64 / (2000.0 * 64.0);
+        assert!((freq - 0.25).abs() < 0.01, "frequency {freq}");
     }
 
     #[test]

@@ -48,7 +48,12 @@ impl TransProbs {
     /// Derive from a static probability with temporal independence.
     pub fn from_p_one(p: f64) -> TransProbs {
         let q = 1.0 - p;
-        TransProbs { p00: q * q, p01: q * p, p10: p * q, p11: p * p }
+        TransProbs {
+            p00: q * q,
+            p01: q * p,
+            p10: p * q,
+            p11: p * p,
+        }
     }
 
     /// Static 1-probability implied by the tuple (`p01 + p11`).
@@ -83,7 +88,12 @@ impl TransProbs {
     /// Transition probabilities of the complemented signal (swap the roles
     /// of the 0 and 1 states).
     pub fn complement(&self) -> TransProbs {
-        TransProbs { p00: self.p11, p01: self.p10, p10: self.p01, p11: self.p00 }
+        TransProbs {
+            p00: self.p11,
+            p01: self.p10,
+            p10: self.p01,
+            p11: self.p00,
+        }
     }
 }
 

@@ -1,0 +1,94 @@
+//! A minimal multiply-mix hasher for the manager's hot tables.
+//!
+//! The unique table and `ite` cache are hit on every recursion step, and
+//! their keys are tiny (a few machine words). The standard library's
+//! default SipHash is DoS-resistant but far too heavy for that access
+//! pattern; this hasher folds each written word with one multiply and a
+//! rotate, in the spirit of rustc's FxHash. Keys are attacker-controlled
+//! nowhere in this workspace, so the weaker mixing is acceptable.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiply-mix hasher.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0 ^ word).wrapping_mul(SEED).rotate_left(26);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` keyed with [`FastHasher`].
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_distinctly() {
+        let mut m: FastMap<(u32, u32, u32), u32> = FastMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(3), i ^ 0xAAAA), i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m[&(i, i.wrapping_mul(3), i ^ 0xAAAA)], i);
+        }
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        fn h(bytes: &[u8]) -> u64 {
+            let mut hasher = FastHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        }
+        assert_eq!(h(b"hello world"), h(b"hello world"));
+        assert_ne!(h(b"hello world"), h(b"hello worle"));
+    }
+}

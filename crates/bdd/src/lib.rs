@@ -19,6 +19,7 @@
 //! assert!((p - 0.12).abs() < 1e-12);
 //! ```
 
+pub mod hash;
 pub mod manager;
 pub mod prob;
 

@@ -1,6 +1,6 @@
 //! The BDD manager: unique table, `ite`, and derived Boolean operations.
 
-use std::collections::HashMap;
+use crate::hash::{FastMap, FastSet};
 
 /// Handle to a BDD function owned by a [`BddManager`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -32,8 +32,8 @@ const TERMINAL_VAR: u32 = u32::MAX;
 #[derive(Debug, Clone)]
 pub struct BddManager {
     nodes: Vec<Node>,
-    unique: HashMap<(u32, Bdd, Bdd), Bdd>,
-    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    unique: FastMap<(u32, Bdd, Bdd), Bdd>,
+    ite_cache: FastMap<(Bdd, Bdd, Bdd), Bdd>,
     num_vars: usize,
 }
 
@@ -42,11 +42,19 @@ impl BddManager {
     pub fn new(num_vars: usize) -> BddManager {
         BddManager {
             nodes: vec![
-                Node { var: TERMINAL_VAR, lo: Bdd::ZERO, hi: Bdd::ZERO },
-                Node { var: TERMINAL_VAR, lo: Bdd::ONE, hi: Bdd::ONE },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: Bdd::ZERO,
+                    hi: Bdd::ZERO,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    lo: Bdd::ONE,
+                    hi: Bdd::ONE,
+                },
             ],
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
+            unique: FastMap::default(),
+            ite_cache: FastMap::default(),
             num_vars,
         }
     }
@@ -155,16 +163,10 @@ impl BddManager {
     /// Cofactor of `f` with respect to `x_i = phase`.
     pub fn restrict(&mut self, f: Bdd, i: usize, phase: bool) -> Bdd {
         assert!(i < self.num_vars, "variable {i} out of range");
-        self.restrict_rec(f, i as u32, phase, &mut HashMap::new())
+        self.restrict_rec(f, i as u32, phase, &mut FastMap::default())
     }
 
-    fn restrict_rec(
-        &mut self,
-        f: Bdd,
-        var: u32,
-        phase: bool,
-        memo: &mut HashMap<Bdd, Bdd>,
-    ) -> Bdd {
+    fn restrict_rec(&mut self, f: Bdd, var: u32, phase: bool, memo: &mut FastMap<Bdd, Bdd>) -> Bdd {
         if f.is_const() || self.var_of(f) > var {
             return f;
         }
@@ -193,14 +195,18 @@ impl BddManager {
         let mut cur = f;
         while !cur.is_const() {
             let n = self.nodes[cur.0 as usize];
-            cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+            cur = if assignment[n.var as usize] {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         cur == Bdd::ONE
     }
 
     /// Number of DAG nodes reachable from `f` (excluding terminals).
     pub fn size(&self, f: Bdd) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FastSet::default();
         let mut stack = vec![f];
         while let Some(x) = stack.pop() {
             if x.is_const() || !seen.insert(x) {
@@ -211,6 +217,30 @@ impl BddManager {
             stack.push(n.hi);
         }
         seen.len()
+    }
+
+    /// One satisfying assignment of `f`, as a complete `num_vars`-wide
+    /// vector with unconstrained variables set to `false`. Returns `None`
+    /// iff `f` is the constant-0 function.
+    ///
+    /// In a reduced BDD every non-`ZERO` node has a path to `ONE`, so
+    /// greedily descending into any non-`ZERO` child terminates at `ONE`.
+    pub fn sat_one(&self, f: Bdd) -> Option<Vec<bool>> {
+        if f == Bdd::ZERO {
+            return None;
+        }
+        let mut assignment = vec![false; self.num_vars];
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = self.nodes[cur.0 as usize];
+            if n.lo == Bdd::ZERO {
+                assignment[n.var as usize] = true;
+                cur = n.hi;
+            } else {
+                cur = n.lo;
+            }
+        }
+        Some(assignment)
     }
 
     pub(crate) fn node(&self, f: Bdd) -> (u32, Bdd, Bdd) {
@@ -287,6 +317,22 @@ mod tests {
         let f = m.and(ab, c);
         assert_eq!(m.size(f), 3);
         assert_eq!(m.size(Bdd::ONE), 0);
+    }
+
+    #[test]
+    fn sat_one_finds_witness() {
+        let mut m = BddManager::new(3);
+        let (a, b) = (m.var(0), m.var(1));
+        let nb = m.not(b);
+        let f = m.and(a, nb);
+        let w = m.sat_one(f).unwrap();
+        assert!(m.eval(f, &w));
+        assert_eq!(w, vec![true, false, false]);
+        assert_eq!(m.sat_one(Bdd::ZERO), None);
+        assert!(m.eval(Bdd::ONE, &m.sat_one(Bdd::ONE).unwrap()));
+        let g = m.xor(a, b);
+        let wg = m.sat_one(g).unwrap();
+        assert!(m.eval(g, &wg));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Signal probability by linear BDD traversal (Najm; eq. 2 of the paper).
 
+use crate::hash::FastMap;
 use crate::manager::{Bdd, BddManager};
-use std::collections::HashMap;
 
 impl BddManager {
     /// Probability that `f` evaluates to 1 when variable `i` independently
@@ -13,12 +13,16 @@ impl BddManager {
     /// # Panics
     /// Panics if `var_probs.len()` differs from the variable count.
     pub fn probability(&self, f: Bdd, var_probs: &[f64]) -> f64 {
-        assert_eq!(var_probs.len(), self.num_vars(), "probability vector width mismatch");
-        let mut memo: HashMap<Bdd, f64> = HashMap::new();
+        assert_eq!(
+            var_probs.len(),
+            self.num_vars(),
+            "probability vector width mismatch"
+        );
+        let mut memo: FastMap<Bdd, f64> = FastMap::default();
         self.prob_rec(f, var_probs, &mut memo)
     }
 
-    fn prob_rec(&self, f: Bdd, probs: &[f64], memo: &mut HashMap<Bdd, f64>) -> f64 {
+    fn prob_rec(&self, f: Bdd, probs: &[f64], memo: &mut FastMap<Bdd, f64>) -> f64 {
         if f == Bdd::ZERO {
             return 0.0;
         }
@@ -43,12 +47,7 @@ impl BddManager {
 
     /// Conditional probability `P(f=1 | g=1)`; returns `None` when
     /// `P(g=1) = 0`.
-    pub fn conditional_probability(
-        &mut self,
-        f: Bdd,
-        g: Bdd,
-        var_probs: &[f64],
-    ) -> Option<f64> {
+    pub fn conditional_probability(&mut self, f: Bdd, g: Bdd, var_probs: &[f64]) -> Option<f64> {
         let pg = self.probability(g, var_probs);
         if pg == 0.0 {
             return None;
@@ -111,7 +110,10 @@ mod tests {
             let probs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
             let exact = m.probability(f, &probs);
             let brute = brute_prob(&m, f, &probs);
-            assert!((exact - brute).abs() < 1e-9, "exact {exact} vs brute {brute}");
+            assert!(
+                (exact - brute).abs() < 1e-9,
+                "exact {exact} vs brute {brute}"
+            );
         }
     }
 

@@ -44,5 +44,10 @@ fn bench_probability_traversal(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_adder_bdds, bench_analyze_suite, bench_probability_traversal);
+criterion_group!(
+    benches,
+    bench_adder_bdds,
+    bench_analyze_suite,
+    bench_probability_traversal
+);
 criterion_main!(benches);

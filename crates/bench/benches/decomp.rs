@@ -27,9 +27,11 @@ fn bench_tree_builders(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("huffman_domino", n), &probs, |b, p| {
             b.iter(|| black_box(huffman_tree(p, domino)))
         });
-        g.bench_with_input(BenchmarkId::new("modified_huffman_static", n), &probs, |b, p| {
-            b.iter(|| black_box(modified_huffman_tree(p, stat)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("modified_huffman_static", n),
+            &probs,
+            |b, p| b.iter(|| black_box(modified_huffman_tree(p, stat))),
+        );
         let bound = (n as f64).log2().ceil() as usize + 1;
         g.bench_with_input(BenchmarkId::new("bounded_minpower", n), &probs, |b, p| {
             b.iter(|| black_box(bounded_minpower_tree(p, stat, bound)))

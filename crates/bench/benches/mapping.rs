@@ -65,7 +65,9 @@ fn bench_glitch_simulation(c: &mut Criterion) {
     c.bench_function("glitch_sim_s344_100v", |b| {
         b.iter(|| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-            black_box(simulate_glitch_power(&mapped, &lib, &env, &probs, 100, &mut rng, 1.0))
+            black_box(simulate_glitch_power(
+                &mapped, &lib, &env, &probs, 100, &mut rng, 1.0,
+            ))
         })
     });
 }

@@ -92,7 +92,10 @@ fn main() {
         let aig = SubjectAig::from_network(&mappable, &act).expect("subject");
 
         println!("\n=== {name} (pd-map, minpower decomposition) ===");
-        println!("{:<40} {:>8} {:>8} {:>9} {:>9} {:>9}", "variant", "area", "delay", "P0 µW", "Pg µW", "time");
+        println!(
+            "{:<40} {:>8} {:>8} {:>9} {:>9} {:>9}",
+            "variant", "area", "delay", "P0 µW", "Pg µW", "time"
+        );
         for v in VARIANTS {
             let opts = MapOptions {
                 power_method: v.power_method,
@@ -107,7 +110,13 @@ fn main() {
             let rep = evaluate(&mapped, &lib, &cfg.env, cfg.model, cfg.po_load);
             let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.sim_seed);
             let g = simulate_glitch_power(
-                &mapped, &lib, &cfg.env, &pi_probs, cfg.sim_vectors, &mut rng, cfg.po_load,
+                &mapped,
+                &lib,
+                &cfg.env,
+                &pi_probs,
+                cfg.sim_vectors,
+                &mut rng,
+                cfg.po_load,
             );
             println!(
                 "{:<40} {:>8.1} {:>8.2} {:>9.1} {:>9.1} {:>8.1?}",

@@ -28,7 +28,10 @@ fn main() {
     let h = minpower_tree(&p, obj);
 
     println!("Figure 1: 4-input AND, P = (0.3, 0.4, 0.7, 0.5), p-type domino\n");
-    println!("{:<34} {:>8} {:>8} {:>8}", "configuration", "SR", "internal", "paper SR");
+    println!(
+        "{:<34} {:>8} {:>8} {:>8}",
+        "configuration", "SR", "internal", "paper SR"
+    );
     println!("{:-<34} {:-<8} {:-<8} {:-<8}", "", "", "", "");
     println!(
         "{:<34} {:>8.3} {:>8.3} {:>8}",

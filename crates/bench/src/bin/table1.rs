@@ -23,7 +23,10 @@ fn main() {
     let obj = DecompObjective::new(TransitionModel::StaticCmos, GateKind::And);
     println!("Table 1: Modified Huffman optimality (static CMOS AND decomposition)");
     println!("{trials} random input patterns per row, exhaustive oracle\n");
-    println!("{:>17} | {:>28} | {:>6}", "numbers of input", "% of getting optimal result", "paper");
+    println!(
+        "{:>17} | {:>28} | {:>6}",
+        "numbers of input", "% of getting optimal result", "paper"
+    );
     println!("{:-<17}-+-{:-<28}-+-{:-<6}", "", "", "");
     let paper = [100, 96, 93, 88];
     for (row, n) in (3..=6).enumerate() {

@@ -30,8 +30,7 @@ fn main() {
         match args[i].as_str() {
             "--circuits" => {
                 i += 1;
-                circuits =
-                    Some(args[i].split(',').map(str::to_string).collect());
+                circuits = Some(args[i].split(',').map(str::to_string).collect());
             }
             "--power-method" => {
                 i += 1;
@@ -69,7 +68,10 @@ fn main() {
             }
             methods.push((r.report.area, r.report.delay, r.glitch_power_uw));
         }
-        rows.push(SuiteRow { name: name.to_string(), methods });
+        rows.push(SuiteRow {
+            name: name.to_string(),
+            methods,
+        });
         eprintln!("done: {name}");
     }
 
@@ -86,12 +88,30 @@ fn main() {
 
     let s = summarize(&rows);
     println!("\nSection 4 summary (geometric-mean changes)        measured   paper");
-    println!("  minpower decomp power (II/I, V/IV):            {:>7.1} %   -3.7 %", s.minpower_decomp_power_pct);
-    println!("  bounded-height power (III/II, VI/V):           {:>7.1} %   -1.6 %", s.bounded_power_pct);
-    println!("  bounded-height delay (III/II, VI/V):           {:>7.1} %   -1.6 %", s.bounded_delay_pct);
-    println!("  pd-map power (IV-VI vs I-III):                 {:>7.1} %  -22   %", s.pdmap_power_pct);
-    println!("  pd-map area  (IV-VI vs I-III):                 {:>7.1} %  +12.4 %", s.pdmap_area_pct);
-    println!("  pd-map delay (IV-VI vs I-III):                 {:>7.1} %   -1.1 %", s.pdmap_delay_pct);
+    println!(
+        "  minpower decomp power (II/I, V/IV):            {:>7.1} %   -3.7 %",
+        s.minpower_decomp_power_pct
+    );
+    println!(
+        "  bounded-height power (III/II, VI/V):           {:>7.1} %   -1.6 %",
+        s.bounded_power_pct
+    );
+    println!(
+        "  bounded-height delay (III/II, VI/V):           {:>7.1} %   -1.6 %",
+        s.bounded_delay_pct
+    );
+    println!(
+        "  pd-map power (IV-VI vs I-III):                 {:>7.1} %  -22   %",
+        s.pdmap_power_pct
+    );
+    println!(
+        "  pd-map area  (IV-VI vs I-III):                 {:>7.1} %  +12.4 %",
+        s.pdmap_area_pct
+    );
+    println!(
+        "  pd-map delay (IV-VI vs I-III):                 {:>7.1} %   -1.1 %",
+        s.pdmap_delay_pct
+    );
 }
 
 fn rerun_with(
@@ -132,7 +152,13 @@ fn rerun_with(
     let report = evaluate(&mapped, lib, &cfg.env, cfg.model, cfg.po_load);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.sim_seed);
     let glitch = lowpower_core::power::simulate_glitch_power(
-        &mapped, lib, &cfg.env, &pi_probs, cfg.sim_vectors, &mut rng, cfg.po_load,
+        &mapped,
+        lib,
+        &cfg.env,
+        &pi_probs,
+        cfg.sim_vectors,
+        &mut rng,
+        cfg.po_load,
     );
     lowpower::flow::MethodResult {
         report,

@@ -37,7 +37,10 @@ pub fn run_suite_row(
             // every method room to trade speed for area/power, like the
             // paper's "given timing constraints".
             let target = probe.mapped.estimated_fastest * 1.10;
-            FlowConfig { required_time: Some(target), ..cfg.clone() }
+            FlowConfig {
+                required_time: Some(target),
+                ..cfg.clone()
+            }
         }
     };
     let mut rows = Vec::with_capacity(methods.len());
@@ -46,7 +49,10 @@ pub fn run_suite_row(
             .unwrap_or_else(|e| panic!("method {m} failed on {}: {e}", net.name()));
         rows.push((r.report.area, r.report.delay, r.glitch_power_uw));
     }
-    SuiteRow { name: net.name().to_string(), methods: rows }
+    SuiteRow {
+        name: net.name().to_string(),
+        methods: rows,
+    }
 }
 
 /// The Section 4 summary claims, as geometric-mean ratios in percent.
@@ -71,8 +77,10 @@ pub struct Summary {
 }
 
 fn geo_mean_ratio_pct(pairs: &[(f64, f64)]) -> f64 {
-    let pairs: Vec<&(f64, f64)> =
-        pairs.iter().filter(|(num, den)| *num > 0.0 && *den > 0.0).collect();
+    let pairs: Vec<&(f64, f64)> = pairs
+        .iter()
+        .filter(|(num, den)| *num > 0.0 && *den > 0.0)
+        .collect();
     if pairs.is_empty() {
         return 0.0;
     }

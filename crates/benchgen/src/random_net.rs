@@ -28,7 +28,13 @@ pub struct RandomNetConfig {
 
 impl Default for RandomNetConfig {
     fn default() -> Self {
-        RandomNetConfig { inputs: 8, outputs: 4, nodes: 40, max_fanin: 3, seed: 1 }
+        RandomNetConfig {
+            inputs: 8,
+            outputs: 4,
+            nodes: 40,
+            max_fanin: 3,
+            seed: 1,
+        }
     }
 }
 
@@ -64,9 +70,7 @@ pub fn random_network(cfg: &RandomNetConfig) -> Network {
         }
         let w = fanins.len();
         let sop = random_sop(&mut rng, w);
-        let id = net
-            .add_logic(format!("n{k}"), fanins, sop)
-            .expect("fresh");
+        let id = net.add_logic(format!("n{k}"), fanins, sop).expect("fresh");
         pool.push(id);
     }
 
@@ -102,7 +106,11 @@ fn random_sop(rng: &mut StdRng, width: usize) -> Sop {
             let forced = rng.gen_range(0..width);
             for (i, l) in lits.iter_mut().enumerate() {
                 if i == forced || rng.gen_bool(0.66) {
-                    *l = if rng.gen_bool(0.75) { Lit::Pos } else { Lit::Neg };
+                    *l = if rng.gen_bool(0.75) {
+                        Lit::Pos
+                    } else {
+                        Lit::Neg
+                    };
                 }
             }
             cubes.push(Cube::new(lits));
@@ -126,7 +134,10 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let cfg = RandomNetConfig { seed: 42, ..Default::default() };
+        let cfg = RandomNetConfig {
+            seed: 42,
+            ..Default::default()
+        };
         let a = random_network(&cfg);
         let b = random_network(&cfg);
         assert_eq!(netlist::write_blif(&a), netlist::write_blif(&b));
@@ -134,19 +145,34 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = random_network(&RandomNetConfig { seed: 1, ..Default::default() });
-        let b = random_network(&RandomNetConfig { seed: 2, ..Default::default() });
+        let a = random_network(&RandomNetConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = random_network(&RandomNetConfig {
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(netlist::write_blif(&a), netlist::write_blif(&b));
     }
 
     #[test]
     fn respects_shape_parameters() {
-        let cfg = RandomNetConfig { inputs: 12, outputs: 6, nodes: 80, max_fanin: 4, seed: 7 };
+        let cfg = RandomNetConfig {
+            inputs: 12,
+            outputs: 6,
+            nodes: 80,
+            max_fanin: 4,
+            seed: 7,
+        };
         let net = random_network(&cfg);
         assert_eq!(net.inputs().len(), 12);
         assert_eq!(net.outputs().len(), 6);
         assert!(net.logic_count() <= 80);
-        assert!(net.logic_count() >= 20, "pruning should not gut the network");
+        assert!(
+            net.logic_count() >= 20,
+            "pruning should not gut the network"
+        );
         for id in net.logic_ids() {
             assert!(net.node(id).fanins().len() <= 4);
         }
@@ -156,12 +182,14 @@ mod tests {
     fn generated_networks_are_valid_blif_roundtrips() {
         let mut rng = StdRng::seed_from_u64(99);
         for seed in 0..5 {
-            let net = random_network(&RandomNetConfig { seed, ..Default::default() });
+            let net = random_network(&RandomNetConfig {
+                seed,
+                ..Default::default()
+            });
             let text = netlist::write_blif(&net);
             let back = netlist::parse_blif(&text).unwrap().network;
             for _ in 0..64 {
-                let pis: Vec<bool> =
-                    (0..net.inputs().len()).map(|_| rng.gen_bool(0.5)).collect();
+                let pis: Vec<bool> = (0..net.inputs().len()).map(|_| rng.gen_bool(0.5)).collect();
                 assert_eq!(net.eval_outputs(&pis), back.eval_outputs(&pis));
             }
         }
@@ -169,7 +197,11 @@ mod tests {
 
     #[test]
     fn no_trivial_nodes() {
-        let net = random_network(&RandomNetConfig { seed: 3, nodes: 60, ..Default::default() });
+        let net = random_network(&RandomNetConfig {
+            seed: 3,
+            nodes: 60,
+            ..Default::default()
+        });
         for id in net.logic_ids() {
             let sop = net.node(id).sop().unwrap();
             assert!(!sop.is_zero() && !sop.is_tautology());

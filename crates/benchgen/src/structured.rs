@@ -31,8 +31,12 @@ pub fn decoder(n: usize, outputs: usize) -> Network {
 pub fn ripple_adder(n: usize) -> Network {
     assert!(n > 0, "adder needs at least one bit");
     let mut net = Network::new(format!("add{n}"));
-    let a: Vec<NodeId> = (0..n).map(|i| net.add_input(format!("a{i}")).expect("fresh")).collect();
-    let b: Vec<NodeId> = (0..n).map(|i| net.add_input(format!("b{i}")).expect("fresh")).collect();
+    let a: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("a{i}")).expect("fresh"))
+        .collect();
+    let b: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("b{i}")).expect("fresh"))
+        .collect();
     let mut carry = net.add_input("cin").expect("fresh");
     for i in 0..n {
         // sum = a ^ b ^ c ; cout = ab + ac + bc
@@ -64,14 +68,22 @@ pub fn ripple_adder(n: usize) -> Network {
 pub fn alu(n: usize) -> Network {
     assert!(n > 0, "alu needs at least one bit");
     let mut net = Network::new(format!("alu{n}"));
-    let a: Vec<NodeId> = (0..n).map(|i| net.add_input(format!("a{i}")).expect("fresh")).collect();
-    let b: Vec<NodeId> = (0..n).map(|i| net.add_input(format!("b{i}")).expect("fresh")).collect();
+    let a: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("a{i}")).expect("fresh"))
+        .collect();
+    let b: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("b{i}")).expect("fresh"))
+        .collect();
     let s0 = net.add_input("s0").expect("fresh");
     let s1 = net.add_input("s1").expect("fresh");
     let mut carry: Option<NodeId> = None;
     for i in 0..n {
         let and_i = net
-            .add_logic(format!("and{i}"), vec![a[i], b[i]], Sop::parse(2, &["11"]).expect("sop"))
+            .add_logic(
+                format!("and{i}"),
+                vec![a[i], b[i]],
+                Sop::parse(2, &["11"]).expect("sop"),
+            )
             .expect("fresh");
         let or_i = net
             .add_logic(
@@ -91,7 +103,11 @@ pub fn alu(n: usize) -> Network {
             None => {
                 // half adder on bit 0 when no carry-in yet
                 let c = net
-                    .add_logic(format!("c{i}"), vec![a[i], b[i]], Sop::parse(2, &["11"]).expect("sop"))
+                    .add_logic(
+                        format!("c{i}"),
+                        vec![a[i], b[i]],
+                        Sop::parse(2, &["11"]).expect("sop"),
+                    )
                     .expect("fresh");
                 (xor_i, c)
             }
@@ -133,7 +149,9 @@ pub fn alu(n: usize) -> Network {
 pub fn parity(n: usize) -> Network {
     assert!(n >= 2, "parity needs at least two inputs");
     let mut net = Network::new(format!("parity{n}"));
-    let pis: Vec<NodeId> = (0..n).map(|i| net.add_input(format!("x{i}")).expect("fresh")).collect();
+    let pis: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("x{i}")).expect("fresh"))
+        .collect();
     let mut acc = pis[0];
     for (i, &pi) in pis.iter().enumerate().skip(1) {
         acc = net
@@ -152,8 +170,12 @@ pub fn parity(n: usize) -> Network {
 pub fn comparator(n: usize) -> Network {
     assert!(n > 0, "comparator needs at least one bit");
     let mut net = Network::new(format!("cmp{n}"));
-    let a: Vec<NodeId> = (0..n).map(|i| net.add_input(format!("a{i}")).expect("fresh")).collect();
-    let b: Vec<NodeId> = (0..n).map(|i| net.add_input(format!("b{i}")).expect("fresh")).collect();
+    let a: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("a{i}")).expect("fresh"))
+        .collect();
+    let b: Vec<NodeId> = (0..n)
+        .map(|i| net.add_input(format!("b{i}")).expect("fresh"))
+        .collect();
     let mut acc: Option<NodeId> = None;
     for i in 0..n {
         let xnor = net
@@ -180,14 +202,16 @@ pub fn comparator(n: usize) -> Network {
 
 /// Mux tree selecting one of `2^k` data inputs by `k` select lines.
 pub fn mux_tree(k: usize) -> Network {
-    assert!(k >= 1 && k <= 6, "mux tree select width out of range");
+    assert!((1..=6).contains(&k), "mux tree select width out of range");
     let mut net = Network::new(format!("mux{}", 1 << k));
-    let sel: Vec<NodeId> = (0..k).map(|i| net.add_input(format!("s{i}")).expect("fresh")).collect();
-    let data: Vec<NodeId> =
-        (0..1 << k).map(|i| net.add_input(format!("d{i}")).expect("fresh")).collect();
+    let sel: Vec<NodeId> = (0..k)
+        .map(|i| net.add_input(format!("s{i}")).expect("fresh"))
+        .collect();
+    let data: Vec<NodeId> = (0..1 << k)
+        .map(|i| net.add_input(format!("d{i}")).expect("fresh"))
+        .collect();
     let mut layer = data;
-    for level in 0..k {
-        let s = sel[level];
+    for (level, &s) in sel.iter().enumerate() {
         let mut next = Vec::with_capacity(layer.len() / 2);
         for pair in 0..layer.len() / 2 {
             let m = net
@@ -238,13 +262,10 @@ mod tests {
                     pis.push(cin == 1);
                     let outs = net.eval_outputs(&pis);
                     let mut got = 0u32;
-                    for i in 0..4 {
-                        if outs[i] {
+                    for (i, &bit) in outs.iter().enumerate().take(5) {
+                        if bit {
                             got |= 1 << i;
                         }
-                    }
-                    if outs[4] {
-                        got |= 1 << 4;
                     }
                     assert_eq!(got, a + b + cin, "a={a} b={b} cin={cin}");
                 }
@@ -272,8 +293,8 @@ mod tests {
                         _ => a ^ b,
                     };
                     let mut got = 0u32;
-                    for i in 0..2 {
-                        if outs[i] {
+                    for (i, &bit) in outs.iter().enumerate().take(2) {
+                        if bit {
                             got |= 1 << i;
                         }
                     }

@@ -30,23 +30,125 @@ pub struct SuiteEntry {
 /// Node budgets are scaled from the paper's method-I gate areas (roughly
 /// `area / 2.5`), PI/PO counts from the originals' combinational cores.
 pub const PAPER_SUITE: &[SuiteEntry] = &[
-    SuiteEntry { name: "s208", inputs: 11, outputs: 9, nodes: 30, seed: 208 },
-    SuiteEntry { name: "s344", inputs: 24, outputs: 26, nodes: 60, seed: 344 },
-    SuiteEntry { name: "s382", inputs: 24, outputs: 27, nodes: 60, seed: 382 },
-    SuiteEntry { name: "s444", inputs: 24, outputs: 27, nodes: 65, seed: 444 },
-    SuiteEntry { name: "s510", inputs: 25, outputs: 13, nodes: 105, seed: 510 },
-    SuiteEntry { name: "s526", inputs: 24, outputs: 27, nodes: 72, seed: 526 },
-    SuiteEntry { name: "s641", inputs: 54, outputs: 42, nodes: 85, seed: 641 },
-    SuiteEntry { name: "s713", inputs: 54, outputs: 42, nodes: 80, seed: 713 },
-    SuiteEntry { name: "s820", inputs: 23, outputs: 24, nodes: 110, seed: 820 },
-    SuiteEntry { name: "cm42a", inputs: 4, outputs: 10, nodes: 10, seed: 42 },
-    SuiteEntry { name: "x1", inputs: 51, outputs: 35, nodes: 110, seed: 1001 },
-    SuiteEntry { name: "x2", inputs: 10, outputs: 7, nodes: 22, seed: 1002 },
-    SuiteEntry { name: "x3", inputs: 135, outputs: 99, nodes: 270, seed: 1003 },
-    SuiteEntry { name: "ttt2", inputs: 24, outputs: 21, nodes: 85, seed: 2222 },
-    SuiteEntry { name: "apex7", inputs: 49, outputs: 37, nodes: 90, seed: 7777 },
-    SuiteEntry { name: "alu2", inputs: 10, outputs: 6, nodes: 120, seed: 2 },
-    SuiteEntry { name: "ex2", inputs: 85, outputs: 66, nodes: 120, seed: 3002 },
+    SuiteEntry {
+        name: "s208",
+        inputs: 11,
+        outputs: 9,
+        nodes: 30,
+        seed: 208,
+    },
+    SuiteEntry {
+        name: "s344",
+        inputs: 24,
+        outputs: 26,
+        nodes: 60,
+        seed: 344,
+    },
+    SuiteEntry {
+        name: "s382",
+        inputs: 24,
+        outputs: 27,
+        nodes: 60,
+        seed: 382,
+    },
+    SuiteEntry {
+        name: "s444",
+        inputs: 24,
+        outputs: 27,
+        nodes: 65,
+        seed: 444,
+    },
+    SuiteEntry {
+        name: "s510",
+        inputs: 25,
+        outputs: 13,
+        nodes: 105,
+        seed: 510,
+    },
+    SuiteEntry {
+        name: "s526",
+        inputs: 24,
+        outputs: 27,
+        nodes: 72,
+        seed: 526,
+    },
+    SuiteEntry {
+        name: "s641",
+        inputs: 54,
+        outputs: 42,
+        nodes: 85,
+        seed: 641,
+    },
+    SuiteEntry {
+        name: "s713",
+        inputs: 54,
+        outputs: 42,
+        nodes: 80,
+        seed: 713,
+    },
+    SuiteEntry {
+        name: "s820",
+        inputs: 23,
+        outputs: 24,
+        nodes: 110,
+        seed: 820,
+    },
+    SuiteEntry {
+        name: "cm42a",
+        inputs: 4,
+        outputs: 10,
+        nodes: 10,
+        seed: 42,
+    },
+    SuiteEntry {
+        name: "x1",
+        inputs: 51,
+        outputs: 35,
+        nodes: 110,
+        seed: 1001,
+    },
+    SuiteEntry {
+        name: "x2",
+        inputs: 10,
+        outputs: 7,
+        nodes: 22,
+        seed: 1002,
+    },
+    SuiteEntry {
+        name: "x3",
+        inputs: 135,
+        outputs: 99,
+        nodes: 270,
+        seed: 1003,
+    },
+    SuiteEntry {
+        name: "ttt2",
+        inputs: 24,
+        outputs: 21,
+        nodes: 85,
+        seed: 2222,
+    },
+    SuiteEntry {
+        name: "apex7",
+        inputs: 49,
+        outputs: 37,
+        nodes: 90,
+        seed: 7777,
+    },
+    SuiteEntry {
+        name: "alu2",
+        inputs: 10,
+        outputs: 6,
+        nodes: 120,
+        seed: 2,
+    },
+    SuiteEntry {
+        name: "ex2",
+        inputs: 85,
+        outputs: 66,
+        nodes: 120,
+        seed: 3002,
+    },
 ];
 
 /// The full paper suite in table order.

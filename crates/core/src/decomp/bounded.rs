@@ -79,7 +79,11 @@ pub fn bounded_minpower_tree_with_heights(
         let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
         for i in 0..items.len() {
             for j in i + 1..items.len() {
-                pairs.push((obj.pair_cost(items[i].0.p_root(), items[j].0.p_root()), i, j));
+                pairs.push((
+                    obj.pair_cost(items[i].0.p_root(), items[j].0.p_root()),
+                    i,
+                    j,
+                ));
             }
         }
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
@@ -203,15 +207,17 @@ mod tests {
             let bound = (n as f64).log2().ceil() as usize;
             let t = bounded_minpower_tree(&probs, obj, bound).expect("balanced is feasible");
             assert!(t.height() <= bound);
-            let (best, _) =
-                exhaustive_bounded_minpower(&probs, obj, bound).expect("feasible");
+            let (best, _) = exhaustive_bounded_minpower(&probs, obj, bound).expect("feasible");
             assert!(t.internal_cost(obj) >= best - 1e-9);
             total += 1;
             if t.internal_cost(obj) <= best + 1e-9 {
                 optimal += 1;
             }
         }
-        assert!(optimal * 100 / total >= 70, "only {optimal}/{total} optimal");
+        assert!(
+            optimal * 100 / total >= 70,
+            "only {optimal}/{total} optimal"
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@ use crate::decomp::tree::DecompTree;
 /// Panics if `probs` is empty or `probs.len() > 10` (enumeration explodes).
 pub fn exhaustive_minpower(probs: &[f64], obj: DecompObjective) -> (f64, DecompTree) {
     assert!(!probs.is_empty(), "need at least one leaf");
-    assert!(probs.len() <= 10, "exhaustive enumeration capped at 10 leaves");
+    assert!(
+        probs.len() <= 10,
+        "exhaustive enumeration capped at 10 leaves"
+    );
     let items: Vec<DecompTree> = probs
         .iter()
         .enumerate()
@@ -35,7 +38,10 @@ pub fn exhaustive_bounded_minpower(
     height_bound: usize,
 ) -> Option<(f64, DecompTree)> {
     assert!(!probs.is_empty(), "need at least one leaf");
-    assert!(probs.len() <= 10, "exhaustive enumeration capped at 10 leaves");
+    assert!(
+        probs.len() <= 10,
+        "exhaustive enumeration capped at 10 leaves"
+    );
     let items: Vec<DecompTree> = probs
         .iter()
         .enumerate()
@@ -96,9 +102,8 @@ fn search_bounded(
         return;
     }
     // Prune: if even the balanced completion overflows the bound, stop.
-    if crate::decomp::bounded::min_height(
-        &items.iter().map(DecompTree::height).collect::<Vec<_>>(),
-    ) > bound
+    if crate::decomp::bounded::min_height(&items.iter().map(DecompTree::height).collect::<Vec<_>>())
+        > bound
     {
         return;
     }

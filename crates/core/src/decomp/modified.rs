@@ -45,12 +45,13 @@ pub fn modified_huffman_tree(probs: &[f64], obj: DecompObjective) -> DecompTree 
 ///
 /// # Panics
 /// Panics if the matrix is empty or `obj.gate` is not [`GateKind::And`].
-pub fn modified_huffman_correlated(
-    matrix: &CorrelationMatrix,
-    obj: DecompObjective,
-) -> DecompTree {
+pub fn modified_huffman_correlated(matrix: &CorrelationMatrix, obj: DecompObjective) -> DecompTree {
     assert!(!matrix.is_empty(), "need at least one leaf");
-    assert_eq!(obj.gate, GateKind::And, "correlated decomposition is defined on AND trees");
+    assert_eq!(
+        obj.gate,
+        GateKind::And,
+        "correlated decomposition is defined on AND trees"
+    );
     let mut m = matrix.clone();
     // items[k] = tree whose root corresponds to matrix signal k.
     let mut items: Vec<DecompTree> = (0..m.len())
@@ -110,7 +111,10 @@ mod tests {
             let probs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..0.99)).collect();
             let t = modified_huffman_tree(&probs, obj);
             let (best, _) = exhaustive_minpower(&probs, obj);
-            assert!(t.internal_cost(obj) >= best - 1e-9, "greedy beat the oracle?");
+            assert!(
+                t.internal_cost(obj) >= best - 1e-9,
+                "greedy beat the oracle?"
+            );
             if t.internal_cost(obj) <= best + 1e-9 {
                 optimal += 1;
             }
@@ -161,6 +165,9 @@ mod tests {
         assert_eq!(depths[0], 2);
         assert_eq!(depths[1], 2);
         assert_eq!(depths[2], 1);
-        assert!(t.p_root() <= 1e-12, "root of AND over anti-correlated pair is 0");
+        assert!(
+            t.p_root() <= 1e-12,
+            "root of AND over anti-correlated pair is 0"
+        );
     }
 }

@@ -118,12 +118,12 @@ pub fn decompose_network(net: &Network, opts: &DecompOptions) -> DecomposedNetwo
     };
 
     match opts.style {
-        DecompStyle::Conventional => {
-            build(net, &act, opts.model, corr.as_mut(), &|_| NodePolicy::Balanced)
-        }
-        DecompStyle::MinPower => {
-            build(net, &act, opts.model, corr.as_mut(), &|_| NodePolicy::MinPower)
-        }
+        DecompStyle::Conventional => build(net, &act, opts.model, corr.as_mut(), &|_| {
+            NodePolicy::Balanced
+        }),
+        DecompStyle::MinPower => build(net, &act, opts.model, corr.as_mut(), &|_| {
+            NodePolicy::MinPower
+        }),
         DecompStyle::BoundedMinPower => bounded_decompose(net, &act, corr.as_mut(), opts),
     }
 }
@@ -142,8 +142,13 @@ fn bounded_decompose(
 
     let mut bounds: HashMap<NodeId, usize> = HashMap::new();
     let mut redecomposed: HashSet<NodeId> = HashSet::new();
-    let mut current =
-        build(net, act, opts.model, corr.as_deref_mut(), &policy_fn(&bounds));
+    let mut current = build(
+        net,
+        act,
+        opts.model,
+        corr.as_deref_mut(),
+        &policy_fn(&bounds),
+    );
 
     loop {
         if current.depth <= required {
@@ -184,7 +189,13 @@ fn bounded_decompose(
         // Exact required arrival level at this node's root.
         let bound = (arrival[root.index()] + slack[root.index()]).max(0) as usize;
         bounds.insert(n, bound);
-        current = build(net, act, opts.model, corr.as_deref_mut(), &policy_fn(&bounds));
+        current = build(
+            net,
+            act,
+            opts.model,
+            corr.as_deref_mut(),
+            &policy_fn(&bounds),
+        );
     }
 
     current.applied_bounds = bounds
@@ -244,7 +255,11 @@ fn build(
 
         // Constants.
         if sop.is_zero() || sop.has_tautology_cube() {
-            let w = if sop.is_zero() { Sop::zero(0) } else { Sop::one(0) };
+            let w = if sop.is_zero() {
+                Sop::zero(0)
+            } else {
+                Sop::one(0)
+            };
             let nid = out
                 .add_logic(node.name().to_string(), vec![], w)
                 .expect("unique node name");
@@ -259,9 +274,15 @@ fn build(
         let (and_pol, or_pol) = match pol {
             NodePolicy::Bounded(l) => {
                 let m = sop.cube_count();
-                let or_levels =
-                    if m <= 1 { 0 } else { (m as f64).log2().ceil() as usize };
-                (NodePolicy::Bounded(l.saturating_sub(or_levels)), NodePolicy::Bounded(l))
+                let or_levels = if m <= 1 {
+                    0
+                } else {
+                    (m as f64).log2().ceil() as usize
+                };
+                (
+                    NodePolicy::Bounded(l.saturating_sub(or_levels)),
+                    NodePolicy::Bounded(l),
+                )
             }
             p => (p, p),
         };
@@ -297,16 +318,15 @@ fn build(
                 }
             }
             let correlated = match (&mut corr, and_pol) {
-                (Some(bdds), NodePolicy::MinPower) if leaves.len() >= 3 => Some(
-                    correlated_and_tree(bdds, &sources, and_obj),
-                ),
+                (Some(bdds), NodePolicy::MinPower) if leaves.len() >= 3 => {
+                    Some(correlated_and_tree(bdds, &sources, and_obj))
+                }
                 _ => None,
             };
             let (cube_node, p_cube, l_cube) = match correlated {
                 Some(tree) => {
                     let p = tree.p_root();
-                    let (root_node, lv) =
-                        instantiate(&mut out, &mut level, &tree, &leaves, AND2);
+                    let (root_node, lv) = instantiate(&mut out, &mut level, &tree, &leaves, AND2);
                     (root_node, p, lv)
                 }
                 None => emit_tree(&mut out, &mut level, &leaves, and_obj, and_pol, AND2),
@@ -331,9 +351,15 @@ fn build(
     for (name, o) in net.outputs() {
         out.add_output(name.clone(), root[o]);
     }
-    out.check().expect("decomposed network must be structurally sound");
+    out.check()
+        .expect("decomposed network must be structurally sound");
     let depth = netlist::traversal::depth(&out);
-    DecomposedNetwork { network: out, node_heights, applied_bounds: HashMap::new(), depth }
+    DecomposedNetwork {
+        network: out,
+        node_heights,
+        applied_bounds: HashMap::new(),
+        depth,
+    }
 }
 
 /// Emit a tree over `leaves` (node, probability, arrival level) into the
@@ -412,7 +438,8 @@ fn alias_with_name(
         return node;
     }
     if out.node(node).name().starts_with("d_") {
-        out.rename_node(node, name).expect("original names are unique");
+        out.rename_node(node, name)
+            .expect("original names are unique");
         return node;
     }
     let sop = Sop::parse(1, &["1"]).expect("buffer sop");
@@ -456,7 +483,7 @@ fn correlated_and_tree(
             let pi_pos = bdds.p_one(si);
             let pj_pos = bdds.p_one(sj);
             let j_pos = bdds.joint(si, sj); // P(si=1 ∧ sj=1)
-            // Transform through the literal phases.
+                                            // Transform through the literal phases.
             let v = match (phi, phj) {
                 (true, true) => j_pos,
                 (true, false) => pi_pos - j_pos,
@@ -559,7 +586,10 @@ mod tests {
         ] {
             let d = decompose_network(&net, &DecompOptions::new(style));
             d.network.check().unwrap();
-            assert!(equivalent(&net, &d.network), "style {style:?} broke function");
+            assert!(
+                equivalent(&net, &d.network),
+                "style {style:?} broke function"
+            );
         }
     }
 
@@ -600,8 +630,7 @@ mod tests {
     fn bounded_meets_balanced_depth() {
         let net = sample();
         let conv = decompose_network(&net, &DecompOptions::new(DecompStyle::Conventional));
-        let bounded =
-            decompose_network(&net, &DecompOptions::new(DecompStyle::BoundedMinPower));
+        let bounded = decompose_network(&net, &DecompOptions::new(DecompStyle::BoundedMinPower));
         assert!(
             bounded.depth <= conv.depth,
             "bounded depth {} must meet conventional depth {}",
@@ -714,7 +743,10 @@ mod tests {
         let indep = decompose_network(&net, &base);
         let corr = decompose_network(
             &net,
-            &DecompOptions { use_correlations: true, ..base.clone() },
+            &DecompOptions {
+                use_correlations: true,
+                ..base.clone()
+            },
         );
         assert!(equivalent(&net, &indep.network));
         assert!(equivalent(&net, &corr.network));

@@ -60,7 +60,10 @@ impl DecompObjective {
     /// monotone in the Huffman key, so plain Huffman is optimal
     /// (Theorem 2.2: the domino cases).
     pub fn quasi_linear(&self) -> bool {
-        matches!(self.model, TransitionModel::DominoP | TransitionModel::DominoN)
+        matches!(
+            self.model,
+            TransitionModel::DominoP | TransitionModel::DominoN
+        )
     }
 
     /// The sort key under which Huffman's "merge the two smallest" rule is

@@ -49,7 +49,10 @@ pub fn package_merge_levels(weights: &[f64], max_level: usize) -> Option<Vec<usi
     let fresh_items = || -> Vec<Item> {
         order
             .iter()
-            .map(|&i| Item { weight: weights[i], leaves: vec![i] })
+            .map(|&i| Item {
+                weight: weights[i],
+                leaves: vec![i],
+            })
             .collect()
     };
 
@@ -61,7 +64,10 @@ pub fn package_merge_levels(weights: &[f64], max_level: usize) -> Option<Vec<usi
         while let (Some(a), Some(b)) = (it.next(), it.next()) {
             let mut leaves = a.leaves;
             leaves.extend(b.leaves);
-            packaged.push(Item { weight: a.weight + b.weight, leaves });
+            packaged.push(Item {
+                weight: a.weight + b.weight,
+                leaves,
+            });
         }
         // MERGE with fresh leaf items of the shallower width.
         let mut merged = fresh_items();
@@ -88,7 +94,11 @@ pub fn package_merge_levels(weights: &[f64], max_level: usize) -> Option<Vec<usi
 
 /// `Σ w_i·l_i` for a level assignment.
 pub fn weighted_path_length(weights: &[f64], levels: &[usize]) -> f64 {
-    weights.iter().zip(levels).map(|(&w, &l)| w * l as f64).sum()
+    weights
+        .iter()
+        .zip(levels)
+        .map(|(&w, &l)| w * l as f64)
+        .sum()
 }
 
 #[cfg(test)]

@@ -37,7 +37,11 @@ pub enum TreeNode {
 impl DecompTree {
     /// A tree with a single leaf (no internal nodes).
     pub fn leaf(input: usize, p: f64) -> DecompTree {
-        DecompTree { nodes: vec![TreeNode::Leaf { input, p }], root: 0, leaf_count: 1 }
+        DecompTree {
+            nodes: vec![TreeNode::Leaf { input, p }],
+            root: 0,
+            leaf_count: 1,
+        }
     }
 
     /// Merge two trees under a new internal node whose probability is
@@ -49,12 +53,18 @@ impl DecompTree {
         let a_root = a.root;
         nodes.extend(b.nodes.into_iter().map(|n| match n {
             TreeNode::Leaf { input, p } => TreeNode::Leaf { input, p },
-            TreeNode::Internal { left, right, p } => {
-                TreeNode::Internal { left: left + offset, right: right + offset, p }
-            }
+            TreeNode::Internal { left, right, p } => TreeNode::Internal {
+                left: left + offset,
+                right: right + offset,
+                p,
+            },
         }));
         let b_root = b.root + offset;
-        nodes.push(TreeNode::Internal { left: a_root, right: b_root, p });
+        nodes.push(TreeNode::Internal {
+            left: a_root,
+            right: b_root,
+            p,
+        });
         DecompTree {
             root: nodes.len() - 1,
             leaf_count: a.leaf_count + b.leaf_count,

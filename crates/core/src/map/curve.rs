@@ -75,8 +75,11 @@ impl Curve {
         if self.points.is_empty() {
             return;
         }
-        self.points
-            .sort_by(|a, b| (a.arrival, a.cost).partial_cmp(&(b.arrival, b.cost)).expect("finite"));
+        self.points.sort_by(|a, b| {
+            (a.arrival, a.cost)
+                .partial_cmp(&(b.arrival, b.cost))
+                .expect("finite")
+        });
         let mut kept: Vec<Point> = Vec::with_capacity(self.points.len());
         let mut best_cost = f64::INFINITY;
         for p in self.points.drain(..) {
@@ -151,7 +154,13 @@ mod tests {
     use super::*;
 
     fn pt(arrival: f64, cost: f64) -> Point {
-        Point { arrival, cost, drive: 1.0, gate: None, inputs: Vec::new() }
+        Point {
+            arrival,
+            cost,
+            drive: 1.0,
+            gate: None,
+            inputs: Vec::new(),
+        }
     }
 
     #[test]

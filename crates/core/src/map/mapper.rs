@@ -73,7 +73,10 @@ impl MapOptions {
 
     /// Area-objective defaults (the ad-map baseline).
     pub fn area() -> MapOptions {
-        MapOptions { objective: MapObjective::Area, ..MapOptions::power() }
+        MapOptions {
+            objective: MapObjective::Area,
+            ..MapOptions::power()
+        }
     }
 }
 
@@ -148,7 +151,10 @@ impl MappedNetwork {
 
     /// Total cell area of the mapped netlist.
     pub fn total_area(&self, lib: &Library) -> f64 {
-        self.instances.iter().map(|i| lib.gates()[i.gate].area()).sum()
+        self.instances
+            .iter()
+            .map(|i| lib.gates()[i.gate].area())
+            .sum()
     }
 }
 
@@ -191,7 +197,15 @@ pub fn map_network(
                 for m in matches_at(aig, &ps, idx) {
                     let target = if m.root_compl { &mut neg } else { &mut pos };
                     add_match_points(
-                        aig, lib, opts, c_def, &curves, idx, m.gate, &m.pin_bindings, target,
+                        aig,
+                        lib,
+                        opts,
+                        c_def,
+                        &curves,
+                        idx,
+                        m.gate,
+                        &m.pin_bindings,
+                        target,
                     );
                 }
             }
@@ -233,10 +247,11 @@ pub fn map_network(
     // ---- preorder: gate selection under demands -----------------------
     let mut demands: HashMap<(u32, bool), Vec<Demand>> = HashMap::new();
     for (_, s) in aig.outputs() {
-        demands
-            .entry((s.node, s.compl))
-            .or_default()
-            .push((required.max(fastest_of(s).expect("checked")), opts.po_load, false));
+        demands.entry((s.node, s.compl)).or_default().push((
+            required.max(fastest_of(s).expect("checked")),
+            opts.po_load,
+            false,
+        ));
     }
     let mut chosen: HashMap<(u32, bool), usize> = HashMap::new();
     for idx in (0..aig.len() as u32).rev() {
@@ -245,7 +260,9 @@ pub fn map_network(
             let mut progressed = false;
             for phase in [false, true] {
                 let key = (idx, phase);
-                let Some(ds) = demands.get(&key).cloned() else { continue };
+                let Some(ds) = demands.get(&key).cloned() else {
+                    continue;
+                };
                 if ds.is_empty() {
                     continue;
                 }
@@ -294,7 +311,6 @@ pub fn map_network(
     fn build(
         s: Signal,
         aig: &SubjectAig,
-        lib: &Library,
         curves: &[[Curve; 2]],
         chosen: &HashMap<(u32, bool), usize>,
         built: &mut HashMap<(u32, bool), NetRef>,
@@ -320,9 +336,14 @@ pub fn map_network(
             .ok_or_else(|| MapError::UnmappedOutput(format!("signal {s:?}")))?;
         let mut ins = Vec::with_capacity(point.inputs.len());
         for &s_in in &point.inputs {
-            ins.push(build(s_in, aig, lib, curves, chosen, built, instances)?);
+            ins.push(build(s_in, aig, curves, chosen, built, instances)?);
         }
-        let name = format!("g{}_{}{}", instances.len(), s.node, if s.compl { "n" } else { "p" });
+        let name = format!(
+            "g{}_{}{}",
+            instances.len(),
+            s.node,
+            if s.compl { "n" } else { "p" }
+        );
         instances.push(MappedInstance {
             name,
             gate: gi,
@@ -336,7 +357,7 @@ pub fn map_network(
 
     let mut outputs = Vec::new();
     for (name, s) in aig.outputs() {
-        let r = build(*s, aig, lib, &curves, &chosen, &mut built, &mut instances)?;
+        let r = build(*s, aig, &curves, &chosen, &mut built, &mut instances)?;
         outputs.push((name.clone(), r));
     }
     let pi_p_one: Vec<f64> = aig
@@ -418,9 +439,7 @@ fn add_match_points(
     for (pin_idx, c) in pin_curves.iter().enumerate() {
         let pin = gate.pin(pin_idx);
         for p in c.points() {
-            cands.push(
-                p.arrival_at_load(pin.input_cap, c_def) + pin.intrinsic + pin.drive * c_def,
-            );
+            cands.push(p.arrival_at_load(pin.input_cap, c_def) + pin.intrinsic + pin.drive * c_def);
         }
     }
     cands.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -435,7 +454,8 @@ fn add_match_points(
                 PowerMethod::OutputLoad => {
                     // Method 2: charge own output at default load.
                     let p_out = aig.p_one(node);
-                    opts.env.average_power_uw(c_def, opts.model.switching(p_out))
+                    opts.env
+                        .average_power_uw(c_def, opts.model.switching(p_out))
                 }
             },
         };
@@ -449,9 +469,8 @@ fn add_match_points(
                 ok = false;
                 break;
             };
-            actual_t = actual_t.max(
-                p.arrival_at_load(pin.input_cap, c_def) + pin.intrinsic + pin.drive * c_def,
-            );
+            actual_t = actual_t
+                .max(p.arrival_at_load(pin.input_cap, c_def) + pin.intrinsic + pin.drive * c_def);
             let div = if opts.dag_fanout_division {
                 aig.fanout_count(s.node).max(1) as f64
             } else {
@@ -501,13 +520,15 @@ fn phase_aug_points(
 ) -> Vec<Point> {
     let mut out = Vec::new();
     // The inverter consumes the source-phase signal.
-    let in_sig = Signal { node, compl: !source_is_pos };
+    let in_sig = Signal {
+        node,
+        compl: !source_is_pos,
+    };
     for &gi in inverters {
         let gate = &lib.gates()[gi];
         let pin = gate.pin(0);
         for p in source.points() {
-            let arr =
-                p.arrival_at_load(pin.input_cap, c_def) + pin.intrinsic + pin.drive * c_def;
+            let arr = p.arrival_at_load(pin.input_cap, c_def) + pin.intrinsic + pin.drive * c_def;
             let div = if opts.dag_fanout_division {
                 aig.fanout_count(node).max(1) as f64
             } else {
@@ -522,7 +543,8 @@ fn phase_aug_points(
                         PowerMethod::InputLoads => load_pw + p.cost / div,
                         PowerMethod::OutputLoad => {
                             let p_out = aig.p_signal(in_sig.not());
-                            opts.env.average_power_uw(c_def, opts.model.switching(p_out))
+                            opts.env
+                                .average_power_uw(c_def, opts.model.switching(p_out))
                                 + (load_pw + p.cost) / div
                         }
                     }
@@ -636,8 +658,11 @@ mod tests {
         );
         let m = map_network(&aig, &lib, &MapOptions::area()).unwrap();
         check_function(&net, &m, &lib);
-        let names: Vec<&str> =
-            m.instances.iter().map(|i| lib.gates()[i.gate].name()).collect();
+        let names: Vec<&str> = m
+            .instances
+            .iter()
+            .map(|i| lib.gates()[i.gate].name())
+            .collect();
         assert!(
             names.contains(&"xor2") || names.contains(&"xnor2"),
             "expected an xor cell, got {names:?}"

@@ -89,7 +89,10 @@ fn bind_edge(
     match &pe.node {
         PatNode::Leaf(pin) => {
             // The pin must see the signal complemented iff the flags differ.
-            let need = Signal { node: s.node, compl: s.compl ^ pe.compl };
+            let need = Signal {
+                node: s.node,
+                compl: s.compl ^ pe.compl,
+            };
             match bindings[*pin] {
                 Some(existing) => existing == need,
                 None => {
@@ -107,7 +110,9 @@ fn bind_edge(
             let AigNode::And { a, b } = aig.nodes()[s.node as usize] else {
                 return false;
             };
-            let PatNode::And(pl, pr) = &pe.node else { unreachable!() };
+            let PatNode::And(pl, pr) = &pe.node else {
+                unreachable!()
+            };
             for (sa, sb) in [(a, b), (b, a)] {
                 let mark = trail.len();
                 if bind_edge(aig, pl, sa, bindings, trail)
@@ -140,7 +145,9 @@ mod tests {
     }
 
     fn names(lib: &genlib::Library, ms: &[Match]) -> Vec<String> {
-        ms.iter().map(|m| lib.gates()[m.gate].name().to_string()).collect()
+        ms.iter()
+            .map(|m| lib.gates()[m.gate].name().to_string())
+            .collect()
     }
 
     #[test]
@@ -155,9 +162,15 @@ mod tests {
         // complemented inputs? nor2 = !a·!b needs complemented leaf edges —
         // it matches too, binding pins to !a and !b (pos phase of AND node
         // via NOR of complements? !a·!b != a·b) — must NOT match pos.
-        let and2 = ms.iter().find(|m| lib.gates()[m.gate].name() == "and2").unwrap();
+        let and2 = ms
+            .iter()
+            .find(|m| lib.gates()[m.gate].name() == "and2")
+            .unwrap();
         assert!(!and2.root_compl);
-        let nand2 = ms.iter().find(|m| lib.gates()[m.gate].name() == "nand2").unwrap();
+        let nand2 = ms
+            .iter()
+            .find(|m| lib.gates()[m.gate].name() == "nand2")
+            .unwrap();
         assert!(nand2.root_compl);
         // or2 = !(!a·!b): matching it at AND(a,b) would bind pins to !a, !b
         // and implement !(AND) — valid as a negative-phase match computing
@@ -182,8 +195,14 @@ mod tests {
         let f = aig.outputs()[0].1;
         let ms = matches_at(&aig, &ps, f.node);
         let ns = names(&lib, &ms);
-        assert!(ns.contains(&"and4".to_string()), "and4 should match: {ns:?}");
-        assert!(ns.contains(&"nand4".to_string()), "nand4 should match: {ns:?}");
+        assert!(
+            ns.contains(&"and4".to_string()),
+            "and4 should match: {ns:?}"
+        );
+        assert!(
+            ns.contains(&"nand4".to_string()),
+            "nand4 should match: {ns:?}"
+        );
         assert!(ns.contains(&"and2".to_string()));
         // aoi22 = !(ab+cd) should match the NEGATIVE phase? !(ab+cd) =
         // !(ab)·!(cd) — that's an AND of complemented ANDs, but our node is
@@ -206,10 +225,16 @@ mod tests {
         let ns = names(&lib, &ms);
         // The AND node computes !(ab+cd); aoi22 = !(ab+cd) matches the
         // positive phase of the node; ao22 matches negative.
-        let aoi = ms.iter().find(|m| lib.gates()[m.gate].name() == "aoi22").unwrap();
+        let aoi = ms
+            .iter()
+            .find(|m| lib.gates()[m.gate].name() == "aoi22")
+            .unwrap();
         assert!(!aoi.root_compl);
         assert!(ns.contains(&"ao22".to_string()));
-        let ao = ms.iter().find(|m| lib.gates()[m.gate].name() == "ao22").unwrap();
+        let ao = ms
+            .iter()
+            .find(|m| lib.gates()[m.gate].name() == "ao22")
+            .unwrap();
         assert!(ao.root_compl);
     }
 

@@ -30,6 +30,6 @@ pub mod pattern;
 pub mod subject;
 
 pub use curve::{Curve, Point};
-pub use mapper::{map_network, MapOptions, MapObjective, MappedNetwork, PowerMethod};
+pub use mapper::{map_network, MapObjective, MapOptions, MappedNetwork, PowerMethod};
 pub use pattern::PatternSet;
 pub use subject::{MapError, Signal, SubjectAig};

@@ -2,6 +2,7 @@
 
 use crate::map::mapper::{MappedNetwork, NetRef};
 use genlib::Library;
+use netlist::{Cube, Lit, Network, NodeId, Sop};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -10,7 +11,8 @@ impl MappedNetwork {
     pub fn gate_histogram(&self, lib: &Library) -> BTreeMap<String, usize> {
         let mut h = BTreeMap::new();
         for inst in &self.instances {
-            *h.entry(lib.gates()[inst.gate].name().to_string()).or_insert(0) += 1;
+            *h.entry(lib.gates()[inst.gate].name().to_string())
+                .or_insert(0) += 1;
         }
         h
     }
@@ -44,8 +46,10 @@ impl MappedNetwork {
             for bits in 0..(1u32 << k) {
                 let assignment: Vec<bool> = (0..k).map(|i| bits >> i & 1 == 1).collect();
                 if gate.eval(&assignment) {
-                    let row: String =
-                        assignment.iter().map(|&v| if v { '1' } else { '0' }).collect();
+                    let row: String = assignment
+                        .iter()
+                        .map(|&v| if v { '1' } else { '0' })
+                        .collect();
                     let _ = writeln!(out, "{row} 1");
                 }
             }
@@ -58,6 +62,66 @@ impl MappedNetwork {
         }
         out.push_str(".end\n");
         out
+    }
+
+    /// Reconstruct a [`Network`] view of the mapped netlist: one SOP node
+    /// per gate instance (minterm cover of the cell function), preserving
+    /// primary-input, instance, and output names. The result computes the
+    /// same function as [`MappedNetwork::eval_outputs`] and is the bridge
+    /// into the `verify` equivalence checker.
+    ///
+    /// # Panics
+    /// Panics if a cell has more than 16 inputs (truth-table enumeration)
+    /// or if instance/input names collide — both indicate a corrupt mapped
+    /// netlist.
+    pub fn to_network(&self, lib: &Library, model_name: &str) -> Network {
+        let mut net = Network::new(model_name);
+        let pis: Vec<NodeId> = self
+            .pi_names
+            .iter()
+            .map(|n| {
+                net.add_input(n)
+                    .expect("duplicate PI name in mapped netlist")
+            })
+            .collect();
+        let mut insts: Vec<NodeId> = Vec::with_capacity(self.instances.len());
+        for inst in &self.instances {
+            let gate = &lib.gates()[inst.gate];
+            let k = gate.inputs().len();
+            assert!(k <= 16, "cell too wide for truth-table emission");
+            let fanins: Vec<NodeId> = inst
+                .inputs
+                .iter()
+                .map(|r| match r {
+                    NetRef::Pi(i) => pis[*i],
+                    NetRef::Inst(i) => insts[*i],
+                })
+                .collect();
+            let mut cubes = Vec::new();
+            for bits in 0..(1u32 << k) {
+                let assignment: Vec<bool> = (0..k).map(|i| bits >> i & 1 == 1).collect();
+                if gate.eval(&assignment) {
+                    let lits = assignment
+                        .iter()
+                        .map(|&v| if v { Lit::Pos } else { Lit::Neg })
+                        .collect();
+                    cubes.push(Cube::new(lits));
+                }
+            }
+            let sop = Sop::from_cubes(k, cubes);
+            insts.push(
+                net.add_logic(&inst.name, fanins, sop)
+                    .expect("duplicate instance name in mapped netlist"),
+            );
+        }
+        for (name, r) in &self.outputs {
+            let node = match r {
+                NetRef::Pi(i) => pis[*i],
+                NetRef::Inst(i) => insts[*i],
+            };
+            net.add_output(name, node);
+        }
+        net
     }
 }
 
@@ -89,6 +153,29 @@ mod tests {
                 "at {pis:?}"
             );
             assert_eq!(back.eval_outputs(&pis), net.eval_outputs(&pis));
+        }
+    }
+
+    #[test]
+    fn network_view_matches_mapped_eval() {
+        let blif = ".model t\n.inputs a b c\n.outputs f g\n.names a b x\n11 1\n\
+                    .names x c f\n1- 1\n-1 1\n.names a c g\n0- 1\n-0 1\n.end\n";
+        let net = parse_blif(blif).unwrap().network;
+        let act = analyze(&net, &[0.5; 3], TransitionModel::StaticCmos);
+        let aig = SubjectAig::from_network(&net, &act).unwrap();
+        let lib = lib2_like();
+        let mapped = map_network(&aig, &lib, &MapOptions::power()).unwrap();
+
+        let view = mapped.to_network(&lib, "t_mapped");
+        assert_eq!(view.inputs().len(), mapped.pi_names.len());
+        assert_eq!(view.outputs().len(), mapped.outputs.len());
+        for bits in 0..8u32 {
+            let pis: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(
+                view.eval_outputs(&pis),
+                mapped.eval_outputs(&lib, &pis),
+                "at {pis:?}"
+            );
         }
     }
 

@@ -111,7 +111,11 @@ impl PatternSet {
                 }
             }
         }
-        PatternSet { patterns, inverters, buffers }
+        PatternSet {
+            patterns,
+            inverters,
+            buffers,
+        }
     }
 
     /// Compiled AND-rooted patterns.
@@ -133,7 +137,10 @@ impl PatternSet {
 /// All binary shapes of an NNF expression, as pattern edges.
 fn shapes_of(e: &Expr) -> Vec<PatEdge> {
     match e {
-        Expr::Var(i) => vec![PatEdge { compl: false, node: PatNode::Leaf(*i) }],
+        Expr::Var(i) => vec![PatEdge {
+            compl: false,
+            node: PatNode::Leaf(*i),
+        }],
         Expr::Not(inner) => shapes_of(inner).into_iter().map(PatEdge::not).collect(),
         Expr::And(kids) => nary_shapes(kids, false),
         Expr::Or(kids) => {
@@ -214,11 +221,7 @@ mod tests {
         (lib, ps)
     }
 
-    fn patterns_for<'a>(
-        lib: &genlib::Library,
-        ps: &'a PatternSet,
-        name: &str,
-    ) -> Vec<&'a Pattern> {
+    fn patterns_for<'a>(lib: &genlib::Library, ps: &'a PatternSet, name: &str) -> Vec<&'a Pattern> {
         let gi = lib.gates().iter().position(|g| g.name() == name).unwrap();
         ps.patterns().iter().filter(|p| p.gate == gi).collect()
     }

@@ -16,8 +16,12 @@ pub struct Signal {
 
 impl Signal {
     /// The complemented signal.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Signal {
-        Signal { node: self.node, compl: !self.compl }
+        Signal {
+            node: self.node,
+            compl: !self.compl,
+        }
     }
 }
 
@@ -54,7 +58,10 @@ impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MapError::UnsupportedNode(n) => {
-                write!(f, "node `{n}` is not 2-input AND/OR/INV/BUF; decompose and sweep first")
+                write!(
+                    f,
+                    "node `{n}` is not 2-input AND/OR/INV/BUF; decompose and sweep first"
+                )
             }
             MapError::NoInverter => write!(f, "library has no inverter cell"),
             MapError::UnmappedOutput(n) => write!(f, "primary output `{n}` has no mapping"),
@@ -96,7 +103,13 @@ impl SubjectAig {
         for (i, &pi) in net.inputs().iter().enumerate() {
             aig.pi_names.push(net.node(pi).name().to_string());
             let n = aig.push(AigNode::Pi { input: i }, act.p_one(pi));
-            sig_of.insert(pi, Signal { node: n, compl: false });
+            sig_of.insert(
+                pi,
+                Signal {
+                    node: n,
+                    compl: false,
+                },
+            );
         }
         for id in net.topo_order().expect("acyclic") {
             let node = net.node(id);
@@ -115,10 +128,11 @@ impl SubjectAig {
                 }
                 (2, s) => {
                     let (sa, sb) = (sig_of[&fi[0]], sig_of[&fi[1]]);
-                    let tt: Vec<bool> = [(false, false), (true, false), (false, true), (true, true)]
-                        .iter()
-                        .map(|&(x, y)| s.eval(&[x, y]))
-                        .collect();
+                    let tt: Vec<bool> =
+                        [(false, false), (true, false), (false, true), (true, true)]
+                            .iter()
+                            .map(|&(x, y)| s.eval(&[x, y]))
+                            .collect();
                     let p = act.p_one(id);
                     match tt.as_slice() {
                         // AND
@@ -155,11 +169,17 @@ impl SubjectAig {
     fn and(&mut self, a: Signal, b: Signal, p_one_out: f64) -> Signal {
         let key = if a <= b { (a, b) } else { (b, a) };
         if let Some(&n) = self.strash.get(&key) {
-            return Signal { node: n, compl: false };
+            return Signal {
+                node: n,
+                compl: false,
+            };
         }
         let n = self.push(AigNode::And { a: key.0, b: key.1 }, p_one_out);
         self.strash.insert(key, n);
-        Signal { node: n, compl: false }
+        Signal {
+            node: n,
+            compl: false,
+        }
     }
 
     fn count_fanouts(&mut self) {

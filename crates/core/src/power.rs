@@ -83,7 +83,12 @@ pub fn evaluate(
     }
 
     let area = m.instances.iter().map(|i| lib.gates()[i.gate].area()).sum();
-    MappedReport { area, delay, power_uw, gate_count: m.instances.len() }
+    MappedReport {
+        area,
+        delay,
+        power_uw,
+        gate_count: m.instances.len(),
+    }
 }
 
 /// Result of glitch-aware power simulation.
@@ -120,7 +125,11 @@ pub fn simulate_glitch_power<R: Rng>(
     rng: &mut R,
     po_load: f64,
 ) -> GlitchReport {
-    assert_eq!(pi_probs.len(), m.pi_names.len(), "PI probability count mismatch");
+    assert_eq!(
+        pi_probs.len(),
+        m.pi_names.len(),
+        "PI probability count mismatch"
+    );
     assert!(vectors >= 2, "need at least two vectors");
     let n_pi = m.pi_names.len();
     let n_net = n_pi + m.instances.len();
@@ -154,7 +163,10 @@ pub fn simulate_glitch_power<R: Rng>(
     };
 
     let draw = |rng: &mut R| -> Vec<bool> {
-        pi_probs.iter().map(|&p| rng.gen_bool(p.clamp(0.0, 1.0))).collect()
+        pi_probs
+            .iter()
+            .map(|&p| rng.gen_bool(p.clamp(0.0, 1.0)))
+            .collect()
     };
 
     let mut transitions = vec![0u64; n_net];
@@ -206,7 +218,11 @@ pub fn simulate_glitch_power<R: Rng>(
         power_uw += env.average_power_uw(load[i], e);
     }
     let gate_nets = (n_net - n_pi).max(1);
-    GlitchReport { power_uw, avg_transitions: total_e / gate_nets as f64, vector_pairs: pairs }
+    GlitchReport {
+        power_uw,
+        avg_transitions: total_e / gate_nets as f64,
+        vector_pairs: pairs,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,209 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! Offline dependency resolution rules out the real crate. This shim keeps
+//! the benches compiling and producing useful wall-clock numbers: each
+//! benchmark warms up briefly, then runs batches until a time budget is
+//! spent and reports the per-iteration mean and minimum. No statistics,
+//! plots or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Runs one benchmark body repeatedly and records timings.
+pub struct Bencher {
+    mean: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+/// Per-iteration time budget for measurement (after a short warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+impl Bencher {
+    fn run<O, F: FnMut() -> O>(mut f: F) -> Bencher {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters: u64 = 0;
+        while total < MEASURE_BUDGET {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            let dt = t.elapsed();
+            total += dt;
+            min = min.min(dt);
+            iters += 1;
+        }
+        Bencher {
+            mean: total / iters.max(1) as u32,
+            min,
+            iters,
+        }
+    }
+
+    /// Measure the closure. May be called at most once per benchmark body
+    /// (later calls overwrite earlier measurements, as with criterion's
+    /// sampling modes this is the common usage anyway).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, f: F) {
+        let b = Bencher::run(f);
+        self.mean = b.mean;
+        self.min = b.min;
+        self.iters = b.iters;
+    }
+}
+
+fn report(path: &str, b: &Bencher) {
+    println!(
+        "bench {path:<55} mean {:>12?}  min {:>12?}  ({} iters)",
+        b.mean, b.min, b.iters
+    );
+}
+
+fn run_named<F: FnMut(&mut Bencher)>(path: &str, mut f: F) {
+    let mut b = Bencher {
+        mean: Duration::ZERO,
+        min: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    report(path, &b);
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this shim is time-budgeted rather
+    /// than sample-counted, so the value is ignored.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Benchmark a closure that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_named(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(&id.to_string(), f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x2").to_string(), "x2");
+    }
+}

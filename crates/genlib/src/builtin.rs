@@ -76,9 +76,9 @@ mod tests {
     fn parses_and_has_expected_cells() {
         let lib = lib2_like();
         for name in [
-            "inv1", "inv2", "inv4", "buf2", "nand2", "nand3", "nand4", "nor2", "nor3",
-            "nor4", "and2", "and3", "and4", "or2", "or3", "or4", "aoi21", "aoi22",
-            "oai21", "oai22", "ao21", "ao22", "oa21", "oa22", "xor2", "xnor2", "mux21",
+            "inv1", "inv2", "inv4", "buf2", "nand2", "nand3", "nand4", "nor2", "nor3", "nor4",
+            "and2", "and3", "and4", "or2", "or3", "or4", "aoi21", "aoi22", "oai21", "oai22",
+            "ao21", "ao22", "oa21", "oa22", "xor2", "xnor2", "mux21",
         ] {
             assert!(lib.find(name).is_some(), "missing cell `{name}`");
         }

@@ -43,7 +43,14 @@ impl Gate {
         pins: Vec<Pin>,
     ) -> Gate {
         assert_eq!(inputs.len(), pins.len(), "one pin record per input");
-        Gate { name, area, output, inputs, function, pins }
+        Gate {
+            name,
+            area,
+            output,
+            inputs,
+            function,
+            pins,
+        }
     }
 
     /// Cell name.
@@ -158,7 +165,14 @@ impl Library {
         let mut out = String::new();
         for g in &self.gates {
             let expr = render_expr(g.function(), g.inputs());
-            let _ = writeln!(out, "GATE {} {} {}={};", g.name(), g.area(), g.output(), expr);
+            let _ = writeln!(
+                out,
+                "GATE {} {} {}={};",
+                g.name(),
+                g.area(),
+                g.output(),
+                expr
+            );
             for p in g.pins() {
                 let _ = writeln!(
                     out,

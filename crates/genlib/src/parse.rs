@@ -29,7 +29,11 @@ pub struct ParseGenlibError {
 
 impl fmt::Display for ParseGenlibError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "genlib parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "genlib parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -56,11 +60,20 @@ fn tokenize(text: &str) -> Result<Vec<(usize, Tok)>, ParseGenlibError> {
                 chars.next();
             } else if c.is_ascii_digit()
                 || (c == '.' && chars.clone().nth(1).is_some_and(|d| d.is_ascii_digit()))
-                || c == '-' && chars.clone().nth(1).is_some_and(|d| d.is_ascii_digit() || d == '.')
+                || c == '-'
+                    && chars
+                        .clone()
+                        .nth(1)
+                        .is_some_and(|d| d.is_ascii_digit() || d == '.')
             {
                 let mut num = String::new();
                 while let Some(&d) = chars.peek() {
-                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || d == '-' || d == '+'
+                    if d.is_ascii_digit()
+                        || d == '.'
+                        || d == 'e'
+                        || d == 'E'
+                        || d == '-'
+                        || d == '+'
                     {
                         // stop '-'/'+' unless part of exponent
                         if (d == '-' || d == '+')
@@ -124,7 +137,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseGenlibError {
-        ParseGenlibError { line: self.line(), message: message.into() }
+        ParseGenlibError {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn expect_word(&mut self) -> Result<String, ParseGenlibError> {
@@ -138,9 +154,7 @@ impl Parser {
         match self.next() {
             Some(Tok::Number(v)) => Ok(v),
             // genlib allows things like `999` written as words in odd files
-            Some(Tok::Word(w)) if w.parse::<f64>().is_ok() => {
-                Ok(w.parse().expect("checked"))
-            }
+            Some(Tok::Word(w)) if w.parse::<f64>().is_ok() => Ok(w.parse().expect("checked")),
             other => Err(self.err(format!("expected number, got {other:?}"))),
         }
     }
@@ -159,7 +173,11 @@ impl Parser {
             self.next();
             terms.push(self.parse_term(vars)?);
         }
-        Ok(if terms.len() == 1 { terms.pop().expect("one") } else { Expr::Or(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one")
+        } else {
+            Expr::Or(terms)
+        })
     }
 
     // term := factor (("*")? factor)*
@@ -178,7 +196,11 @@ impl Parser {
                 _ => break,
             }
         }
-        Ok(if factors.len() == 1 { factors.pop().expect("one") } else { Expr::And(factors) })
+        Ok(if factors.len() == 1 {
+            factors.pop().expect("one")
+        } else {
+            Expr::And(factors)
+        })
     }
 
     fn parse_factor(&mut self, vars: &mut Vec<String>) -> Result<Expr, ParseGenlibError> {
@@ -302,10 +324,7 @@ mod tests {
 
     #[test]
     fn parse_simple_gate() {
-        let lib = parse_genlib(
-            "GATE inv 1.0 O=!a; PIN a INV 1.0 999 0.4 0.9 0.4 0.9\n",
-        )
-        .unwrap();
+        let lib = parse_genlib("GATE inv 1.0 O=!a; PIN a INV 1.0 999 0.4 0.9 0.4 0.9\n").unwrap();
         let g = lib.find("inv").unwrap();
         assert!(g.is_inverter());
         assert!((g.pin(0).intrinsic - 0.4).abs() < 1e-12);
@@ -313,10 +332,8 @@ mod tests {
 
     #[test]
     fn star_pin_expands_to_all_inputs() {
-        let lib = parse_genlib(
-            "GATE nand3 3.0 O=!(a*b*c); PIN * INV 1.1 999 0.9 1.2 0.8 1.0\n",
-        )
-        .unwrap();
+        let lib =
+            parse_genlib("GATE nand3 3.0 O=!(a*b*c); PIN * INV 1.1 999 0.9 1.2 0.8 1.0\n").unwrap();
         let g = lib.find("nand3").unwrap();
         assert_eq!(g.pins().len(), 3);
         assert_eq!(g.pin(2).name, "c");
@@ -358,10 +375,7 @@ mod tests {
 
     #[test]
     fn constants_parse() {
-        let lib = parse_genlib(
-            "GATE tie1 1.0 O=CONST1;\nGATE tie0 1.0 O=CONST0;\n",
-        )
-        .unwrap();
+        let lib = parse_genlib("GATE tie1 1.0 O=CONST1;\nGATE tie0 1.0 O=CONST0;\n").unwrap();
         assert_eq!(lib.find("tie1").unwrap().inputs().len(), 0);
     }
 
@@ -383,10 +397,9 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines() {
-        let lib = parse_genlib(
-            "# a comment\n\nGATE inv 1.0 O=!a; PIN a INV 1 999 1 1 1 1 # trailing\n",
-        )
-        .unwrap();
+        let lib =
+            parse_genlib("# a comment\n\nGATE inv 1.0 O=!a; PIN a INV 1 999 1 1 1 1 # trailing\n")
+                .unwrap();
         assert_eq!(lib.gates().len(), 1);
     }
 }

@@ -22,10 +22,7 @@ pub fn compose(f: &Sop, pos: usize, g: &Sop) -> Sop {
         let mut base = cube.clone();
         let phase = base.lit(pos);
         base.set_lit(pos, Lit::Free);
-        let base_sop = Sop::from_cubes(fw, vec![base]).remap(
-            &(0..fw).collect::<Vec<_>>(),
-            fw + gw,
-        );
+        let base_sop = Sop::from_cubes(fw, vec![base]).remap(&(0..fw).collect::<Vec<_>>(), fw + gw);
         let term = match phase {
             Lit::Free => base_sop,
             Lit::Pos => base_sop.and(&g_pos),
@@ -37,21 +34,6 @@ pub fn compose(f: &Sop, pos: usize, g: &Sop) -> Sop {
     out
 }
 
-/// Remap a cube merging duplicate variable positions; `None` if two merged
-/// positions carry conflicting phases (the cube vanishes).
-fn remap_merge(cube: &Cube, perm: &[usize], new_width: usize) -> Option<Cube> {
-    let mut out = Cube::tautology(new_width);
-    for (i, l) in cube.bound_lits() {
-        let p = perm[i];
-        match out.lit(p) {
-            Lit::Free => out.set_lit(p, l),
-            existing if existing == l => {}
-            _ => return None,
-        }
-    }
-    Some(out)
-}
-
 /// Collapse node `victim` into every fanout. The victim must not be a
 /// primary input. After the call the victim is dangling (removed by the
 /// internal sweep) unless it drives a primary output.
@@ -59,14 +41,20 @@ fn remap_merge(cube: &Cube, perm: &[usize], new_width: usize) -> Option<Cube> {
 /// # Panics
 /// Panics if `victim` is a primary input.
 pub fn collapse_node(net: &mut Network, victim: NodeId) {
-    assert!(!net.node(victim).is_input(), "cannot collapse a primary input");
+    assert!(
+        !net.node(victim).is_input(),
+        "cannot collapse a primary input"
+    );
     let g = net.node(victim).sop().expect("logic node").clone();
     let g_fanins = net.node(victim).fanins().to_vec();
     let fanouts: Vec<NodeId> = net.node(victim).fanouts().to_vec();
     for fo in fanouts {
         let f = net.node(fo).sop().expect("logic node").clone();
         let f_fanins = net.node(fo).fanins().to_vec();
-        let pos = f_fanins.iter().position(|&x| x == victim).expect("fanin present");
+        let pos = f_fanins
+            .iter()
+            .position(|&x| x == victim)
+            .expect("fanin present");
         let composed = compose(&f, pos, &g);
         // Build merged fanin list: f's fanins then g's fanins, deduped,
         // dropping the victim position.
@@ -95,7 +83,7 @@ pub fn collapse_node(net: &mut Network, victim: NodeId) {
         let cubes: Vec<Cube> = composed
             .cubes()
             .iter()
-            .filter_map(|c| remap_merge(c, &perm, merged.len()))
+            .filter_map(|c| c.remap(&perm, merged.len()))
             .collect();
         let mut sop = Sop::from_cubes(merged.len(), cubes);
         sop.make_scc_minimal();

@@ -105,11 +105,7 @@ fn division_saving_weighted(
     let lits_weight = |s: &Sop| -> f64 {
         s.cubes()
             .iter()
-            .map(|c| {
-                c.bound_lits()
-                    .map(|(i, _)| weight(fanins[i]))
-                    .sum::<f64>()
-            })
+            .map(|c| c.bound_lits().map(|(i, _)| weight(fanins[i])).sum::<f64>())
             .sum()
     };
     let old = lits_weight(&f);
@@ -136,7 +132,9 @@ pub fn extract(net: &mut Network, max_rounds: usize) -> ExtractReport {
         if max_rounds != 0 && rounds >= max_rounds {
             break;
         }
-        let Some((divisor, saving)) = best_divisor(net, None) else { break };
+        let Some((divisor, saving)) = best_divisor(net, None) else {
+            break;
+        };
         if saving <= 0.0 {
             break;
         }
@@ -165,7 +163,11 @@ pub fn extract_power_aware(
     max_rounds: usize,
 ) -> ExtractReport {
     use activity::{analyze, TransitionModel};
-    assert_eq!(pi_probs.len(), net.inputs().len(), "PI probability count mismatch");
+    assert_eq!(
+        pi_probs.len(),
+        net.inputs().len(),
+        "PI probability count mismatch"
+    );
     let mut report = ExtractReport::default();
     let mut rounds = 0;
     loop {
@@ -179,7 +181,9 @@ pub fn extract_power_aware(
         for id in net.node_ids() {
             weights[id.index()] = act.switching(id);
         }
-        let Some((divisor, saving)) = best_divisor(net, Some(&weights)) else { break };
+        let Some((divisor, saving)) = best_divisor(net, Some(&weights)) else {
+            break;
+        };
         if saving <= 1e-12 {
             break;
         }
@@ -274,8 +278,7 @@ fn best_divisor(net: &Network, weights: Option<&[f64]>) -> Option<(Vec<GCube>, f
         let div_cost: f64 = div_lits.iter().sum();
         let mut saving_total = 0.0;
         for cubes in gcovers.values() {
-            saving_total +=
-                division_saving_weighted(cubes, &div, &weight_of, divisor_weight);
+            saving_total += division_saving_weighted(cubes, &div, &weight_of, divisor_weight);
         }
         let net_saving = saving_total - div_cost;
         if net_saving > 0.0 && best.as_ref().is_none_or(|(_, s)| net_saving > *s) {
@@ -406,11 +409,10 @@ mod tests {
 
     #[test]
     fn no_sharing_no_extraction() {
-        let mut net = parse_blif(
-            ".model t\n.inputs a b c\n.outputs f\n.names a b c f\n111 1\n.end\n",
-        )
-        .unwrap()
-        .network;
+        let mut net =
+            parse_blif(".model t\n.inputs a b c\n.outputs f\n.names a b c f\n111 1\n.end\n")
+                .unwrap()
+                .network;
         let rep = extract(&mut net, 0);
         assert_eq!(rep.divisors_created, 0);
     }
@@ -441,7 +443,7 @@ mod tests {
                 blif.push_str(&format!(".names a b c d e {out}\n"));
                 for _ in 0..rng.gen_range(2..5) {
                     let row: String = (0..5)
-                        .map(|_| ['0', '1', '-'][rng.gen_range(0..3)])
+                        .map(|_| ['0', '1', '-'][rng.gen_range(0..3usize)])
                         .collect();
                     blif.push_str(&format!("{row} 1\n"));
                 }
@@ -564,11 +566,10 @@ mod power_aware_tests {
 
     #[test]
     fn power_aware_stops_when_no_gain() {
-        let mut net = parse_blif(
-            ".model t\n.inputs a b c\n.outputs f\n.names a b c f\n111 1\n.end\n",
-        )
-        .unwrap()
-        .network;
+        let mut net =
+            parse_blif(".model t\n.inputs a b c\n.outputs f\n.names a b c f\n111 1\n.end\n")
+                .unwrap()
+                .network;
         let rep = extract_power_aware(&mut net, &[0.5; 3], 0);
         assert_eq!(rep.divisors_created, 0);
     }

@@ -29,10 +29,19 @@ pub fn kernels(f: &Sop) -> Vec<Kernel> {
     let base = if cc.is_tautology() {
         f.clone()
     } else {
-        Sop::from_cubes(width, f.cubes().iter().map(|c| cube_divide(c, &cc).expect("common cube divides")).collect())
+        Sop::from_cubes(
+            width,
+            f.cubes()
+                .iter()
+                .map(|c| cube_divide(c, &cc).expect("common cube divides"))
+                .collect(),
+        )
     };
     if is_cube_free(&base) {
-        out.push(Kernel { kernel: base.clone(), co_kernel: cc.clone() });
+        out.push(Kernel {
+            kernel: base.clone(),
+            co_kernel: cc.clone(),
+        });
     }
     kernels_rec(&base, &cc, 0, &mut out);
     // Deduplicate by kernel cube set.
@@ -92,7 +101,10 @@ fn kernels_rec(f: &Sop, co: &Cube, start_lit: usize, out: &mut Vec<Kernel>) {
             .and_then(|c| c.and(&cc))
             .expect("co-kernel literals are compatible");
         if h.cube_count() >= 2 {
-            out.push(Kernel { kernel: h.clone(), co_kernel: new_co.clone() });
+            out.push(Kernel {
+                kernel: h.clone(),
+                co_kernel: new_co.clone(),
+            });
             kernels_rec(&h, &new_co, lit_idx + 1, out);
         }
     }
@@ -108,8 +120,7 @@ mod tests {
         // kernels: {c+d} (co a and b), {a+b} (co c and d), f itself.
         let f = Sop::parse(5, &["1-1--", "1--1-", "-11--", "-1-1-", "----1"]).unwrap();
         let ks = kernels(&f);
-        let kernel_strings: Vec<String> =
-            ks.iter().map(|k| k.kernel.to_string()).collect();
+        let kernel_strings: Vec<String> = ks.iter().map(|k| k.kernel.to_string()).collect();
         assert!(
             kernel_strings.iter().any(|s| s == "--1-- + ---1-"),
             "missing kernel c+d in {kernel_strings:?}"

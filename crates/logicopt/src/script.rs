@@ -104,16 +104,18 @@ mod tests {
             for (name, ins) in [("m0", "a b c"), ("m1", "c d e"), ("m2", "a d e")] {
                 blif.push_str(&format!(".names {ins} {name}\n"));
                 for _ in 0..rng.gen_range(1..4) {
-                    let row: String =
-                        (0..3).map(|_| ['0', '1', '-'][rng.gen_range(0..3)]).collect();
+                    let row: String = (0..3)
+                        .map(|_| ['0', '1', '-'][rng.gen_range(0..3usize)])
+                        .collect();
                     blif.push_str(&format!("{row} 1\n"));
                 }
             }
             for (out, ins) in [("o0", "m0 m1 e"), ("o1", "m1 m2 a")] {
                 blif.push_str(&format!(".names {ins} {out}\n"));
                 for _ in 0..rng.gen_range(1..4) {
-                    let row: String =
-                        (0..3).map(|_| ['0', '1', '-'][rng.gen_range(0..3)]).collect();
+                    let row: String = (0..3)
+                        .map(|_| ['0', '1', '-'][rng.gen_range(0..3usize)])
+                        .collect();
                     blif.push_str(&format!("{row} 1\n"));
                 }
             }

@@ -160,11 +160,10 @@ mod tests {
 
     #[test]
     fn network_simplify_preserves_function_and_support() {
-        let mut net = parse_blif(
-            ".model t\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n10- 1\n.end\n",
-        )
-        .unwrap()
-        .network;
+        let mut net =
+            parse_blif(".model t\n.inputs a b c\n.outputs f\n.names a b c f\n11- 1\n10- 1\n.end\n")
+                .unwrap()
+                .network;
         let orig = net.clone();
         let rep = simplify_network(&mut net);
         net.check().unwrap();

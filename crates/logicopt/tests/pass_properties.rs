@@ -72,7 +72,11 @@ fn arb_recipe() -> impl Strategy<Value = NetworkRecipe> {
         proptest::collection::vec(node, 2..8),
         proptest::collection::vec(0usize..64, 1..4),
     )
-        .prop_map(|(inputs, nodes, outputs)| NetworkRecipe { inputs, nodes, outputs })
+        .prop_map(|(inputs, nodes, outputs)| NetworkRecipe {
+            inputs,
+            nodes,
+            outputs,
+        })
 }
 
 fn equivalent(a: &Network, b: &Network) -> bool {

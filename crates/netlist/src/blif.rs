@@ -24,7 +24,11 @@ pub struct ParseBlifError {
 
 impl fmt::Display for ParseBlifError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "blif parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "blif parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -32,7 +36,10 @@ impl std::error::Error for ParseBlifError {}
 
 impl From<NetworkError> for ParseBlifError {
     fn from(e: NetworkError) -> Self {
-        ParseBlifError { line: 0, message: e.to_string() }
+        ParseBlifError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -120,7 +127,11 @@ pub fn parse_blif(text: &str) -> Result<BlifModel, ParseBlifError> {
                 if signals.is_empty() {
                     return Err(err(line_no, ".names with no signals".into()));
                 }
-                current = Some(NamesBlock { line: line_no, signals, rows: Vec::new() });
+                current = Some(NamesBlock {
+                    line: line_no,
+                    signals,
+                    rows: Vec::new(),
+                });
             }
             ".latch" => {
                 let toks: Vec<&str> = tokens.collect();
@@ -130,7 +141,10 @@ pub fn parse_blif(text: &str) -> Result<BlifModel, ParseBlifError> {
                 latches.push((toks[1].to_string(), toks[0].to_string()));
             }
             ".end" => break,
-            ".exdc" | ".clock" | ".wire_load_slope" | ".default_input_arrival"
+            ".exdc"
+            | ".clock"
+            | ".wire_load_slope"
+            | ".default_input_arrival"
             | ".default_output_required" => { /* ignored */ }
             _ if head.starts_with('.') => {
                 return Err(err(line_no, format!("unsupported construct `{head}`")));
@@ -198,10 +212,18 @@ pub fn parse_blif(text: &str) -> Result<BlifModel, ParseBlifError> {
             let fanins: Vec<NodeId> = fanin_names.iter().map(|n| ids[n]).collect();
             let width = fanins.len();
             // Off-set rows mean the cover lists the complement; complement it.
-            let on_rows: Vec<Cube> =
-                b.rows.iter().filter(|(_, p)| *p).map(|(c, _)| c.clone()).collect();
-            let off_rows: Vec<Cube> =
-                b.rows.iter().filter(|(_, p)| !*p).map(|(c, _)| c.clone()).collect();
+            let on_rows: Vec<Cube> = b
+                .rows
+                .iter()
+                .filter(|(_, p)| *p)
+                .map(|(c, _)| c.clone())
+                .collect();
+            let off_rows: Vec<Cube> = b
+                .rows
+                .iter()
+                .filter(|(_, p)| !*p)
+                .map(|(c, _)| c.clone())
+                .collect();
             let sop = if !on_rows.is_empty() {
                 Sop::from_cubes(width, on_rows)
             } else if !off_rows.is_empty() {
@@ -242,7 +264,10 @@ pub fn parse_blif(text: &str) -> Result<BlifModel, ParseBlifError> {
         net.add_output(format!("{li}$next"), id);
     }
     net.check()?;
-    Ok(BlifModel { network: net, latches })
+    Ok(BlifModel {
+        network: net,
+        latches,
+    })
 }
 
 /// Serialize a network as BLIF text.

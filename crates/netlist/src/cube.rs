@@ -49,7 +49,9 @@ pub struct Cube {
 impl Cube {
     /// The tautology cube of the given width (all positions free).
     pub fn tautology(width: usize) -> Cube {
-        Cube { lits: vec![Lit::Free; width] }
+        Cube {
+            lits: vec![Lit::Free; width],
+        }
     }
 
     /// Build a cube from explicit literal states.
@@ -70,7 +72,10 @@ impl Cube {
 
     /// Parse from PLA notation, e.g. `"01-"`.
     pub fn parse(s: &str) -> Option<Cube> {
-        s.chars().map(Lit::from_char).collect::<Option<Vec<_>>>().map(|lits| Cube { lits })
+        s.chars()
+            .map(Lit::from_char)
+            .collect::<Option<Vec<_>>>()
+            .map(|lits| Cube { lits })
     }
 
     /// Number of variable positions.
@@ -90,7 +95,11 @@ impl Cube {
 
     /// Iterator over `(position, Lit)` for non-free positions.
     pub fn bound_lits(&self) -> impl Iterator<Item = (usize, Lit)> + '_ {
-        self.lits.iter().copied().enumerate().filter(|&(_, l)| l != Lit::Free)
+        self.lits
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, l)| l != Lit::Free)
     }
 
     /// Number of literals (non-free positions).
@@ -124,7 +133,10 @@ impl Cube {
     /// True if `self` covers `other` (every minterm of `other` is in `self`).
     pub fn covers(&self, other: &Cube) -> bool {
         assert_eq!(self.width(), other.width(), "cube width mismatch");
-        self.lits.iter().zip(&other.lits).all(|(&a, &b)| a == Lit::Free || a == b)
+        self.lits
+            .iter()
+            .zip(&other.lits)
+            .all(|(&a, &b)| a == Lit::Free || a == b)
     }
 
     /// Number of positions where the cubes have opposing literals.
@@ -161,6 +173,24 @@ impl Cube {
         })
     }
 
+    /// Bit-parallel evaluation on 64 assignments at once: bit `k` of
+    /// `assignment[i]` is the value of variable `i` in the `k`-th
+    /// assignment, and bit `k` of the result is the cube's value there.
+    ///
+    /// # Panics
+    /// Panics if `assignment.len()` differs from the cube width.
+    pub fn eval_words(&self, assignment: &[u64]) -> u64 {
+        assert_eq!(assignment.len(), self.width(), "assignment width mismatch");
+        self.lits
+            .iter()
+            .zip(assignment)
+            .fold(!0u64, |acc, (&l, &w)| match l {
+                Lit::Free => acc,
+                Lit::Pos => acc & w,
+                Lit::Neg => acc & !w,
+            })
+    }
+
     /// Remove variable positions listed in `remove` (sorted ascending),
     /// producing a narrower cube.
     ///
@@ -183,20 +213,28 @@ impl Cube {
     /// Widen the cube by appending `extra` free positions.
     pub fn widen(&self, extra: usize) -> Cube {
         let mut lits = self.lits.clone();
-        lits.extend(std::iter::repeat(Lit::Free).take(extra));
+        lits.extend(std::iter::repeat_n(Lit::Free, extra));
         Cube { lits }
     }
 
     /// Re-index the cube through `perm`, where `perm[i]` gives the new
     /// position of old variable `i`, into a cube of width `new_width`.
-    pub fn remap(&self, perm: &[usize], new_width: usize) -> Cube {
+    ///
+    /// When `perm` maps two bound positions onto one slot (fanin merging),
+    /// the literals intersect: equal phases merge, opposite phases make the
+    /// whole cube contradictory and `None` is returned.
+    pub fn remap(&self, perm: &[usize], new_width: usize) -> Option<Cube> {
         let mut lits = vec![Lit::Free; new_width];
         for (i, &l) in self.lits.iter().enumerate() {
             if l != Lit::Free {
-                lits[perm[i]] = l;
+                let slot = &mut lits[perm[i]];
+                if *slot != Lit::Free && *slot != l {
+                    return None;
+                }
+                *slot = l;
             }
         }
-        Cube { lits }
+        Some(Cube { lits })
     }
 }
 
@@ -244,8 +282,18 @@ mod tests {
         let small = Cube::parse("101").unwrap();
         assert!(big.covers(&small));
         assert!(!small.covers(&big));
-        assert_eq!(Cube::parse("10").unwrap().distance(&Cube::parse("01").unwrap()), 2);
-        assert_eq!(Cube::parse("1-").unwrap().distance(&Cube::parse("0-").unwrap()), 1);
+        assert_eq!(
+            Cube::parse("10")
+                .unwrap()
+                .distance(&Cube::parse("01").unwrap()),
+            2
+        );
+        assert_eq!(
+            Cube::parse("1-")
+                .unwrap()
+                .distance(&Cube::parse("0-").unwrap()),
+            1
+        );
     }
 
     #[test]
@@ -276,8 +324,18 @@ mod tests {
     fn drop_and_remap() {
         let c = Cube::parse("1--0").unwrap();
         assert_eq!(c.drop_positions(&[1, 2]).to_string(), "10");
-        let r = c.remap(&[3, 2, 1, 0], 4);
+        let r = c.remap(&[3, 2, 1, 0], 4).unwrap();
         assert_eq!(r.to_string(), "0--1");
+    }
+
+    #[test]
+    fn remap_intersects_merged_positions() {
+        // Identifying two positions: equal phases merge…
+        let c = Cube::parse("1-1").unwrap();
+        assert_eq!(c.remap(&[0, 1, 0], 2).unwrap().to_string(), "1-");
+        // …opposite phases contradict (x·!x): the cube vanishes.
+        let c = Cube::parse("1-0").unwrap();
+        assert_eq!(c.remap(&[0, 1, 0], 2), None);
     }
 
     #[test]

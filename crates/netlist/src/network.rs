@@ -86,7 +86,11 @@ pub enum NetworkError {
     /// A referenced name does not exist.
     UnknownName(String),
     /// A SOP width does not match the fanin count.
-    WidthMismatch { node: String, width: usize, fanins: usize },
+    WidthMismatch {
+        node: String,
+        width: usize,
+        fanins: usize,
+    },
     /// The network contains a combinational cycle through the named node.
     Cycle(String),
 }
@@ -96,7 +100,11 @@ impl fmt::Display for NetworkError {
         match self {
             NetworkError::DuplicateName(n) => write!(f, "duplicate node name `{n}`"),
             NetworkError::UnknownName(n) => write!(f, "unknown node name `{n}`"),
-            NetworkError::WidthMismatch { node, width, fanins } => {
+            NetworkError::WidthMismatch {
+                node,
+                width,
+                fanins,
+            } => {
                 write!(f, "node `{node}` has SOP width {width} but {fanins} fanins")
             }
             NetworkError::Cycle(n) => write!(f, "combinational cycle through node `{n}`"),
@@ -190,12 +198,19 @@ impl Network {
 
     /// Number of live logic nodes.
     pub fn logic_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.alive && !n.is_input()).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.alive && !n.is_input())
+            .count()
     }
 
     /// Total literal count over all logic nodes.
     pub fn literal_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.alive).map(Node::literal_count).sum()
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(Node::literal_count)
+            .sum()
     }
 
     /// Size of the arena (including removed slots); valid bound for dense
@@ -250,7 +265,11 @@ impl Network {
     /// # Errors
     /// Returns [`NetworkError::DuplicateName`] if the new name is taken by a
     /// different node.
-    pub fn rename_node(&mut self, id: NodeId, new_name: impl Into<String>) -> Result<(), NetworkError> {
+    pub fn rename_node(
+        &mut self,
+        id: NodeId,
+        new_name: impl Into<String>,
+    ) -> Result<(), NetworkError> {
         let new_name = new_name.into();
         if let Some(&existing) = self.by_name.get(&new_name) {
             if existing == id {
@@ -286,7 +305,13 @@ impl Network {
         }
         let id = NodeId(self.nodes.len() as u32);
         self.by_name.insert(name.clone(), id);
-        self.nodes.push(Node { name, func, fanins, fanouts: Vec::new(), alive: true });
+        self.nodes.push(Node {
+            name,
+            func,
+            fanins,
+            fanouts: Vec::new(),
+            alive: true,
+        });
         Ok(id)
     }
 
@@ -311,8 +336,15 @@ impl Network {
     /// Panics if the node is a primary input or if the SOP width does not
     /// match the new fanin count.
     pub fn replace_function(&mut self, id: NodeId, fanins: Vec<NodeId>, sop: Sop) {
-        assert!(!self.node(id).is_input(), "cannot replace a primary input's function");
-        assert_eq!(sop.width(), fanins.len(), "SOP width must equal fanin count");
+        assert!(
+            !self.node(id).is_input(),
+            "cannot replace a primary input's function"
+        );
+        assert_eq!(
+            sop.width(),
+            fanins.len(),
+            "SOP width must equal fanin count"
+        );
         let old = std::mem::take(&mut self.nodes[id.index()].fanins);
         self.nodes[id.index()].func = NodeFunc::Logic(sop);
         self.nodes[id.index()].fanins = fanins.clone();
@@ -355,7 +387,12 @@ impl Network {
             }
             let perm: Vec<usize> = fanins
                 .iter()
-                .map(|f| new_fanins.iter().position(|g| g == f).expect("fanin present"))
+                .map(|f| {
+                    new_fanins
+                        .iter()
+                        .position(|g| g == f)
+                        .expect("fanin present")
+                })
                 .collect();
             let mut new_sop = sop.remap(&perm, new_fanins.len());
             new_sop.make_scc_minimal();
@@ -393,7 +430,10 @@ impl Network {
     /// # Panics
     /// Panics if the node still has fanouts or is referenced by an output.
     pub fn remove_node(&mut self, id: NodeId) {
-        assert!(self.nodes[id.index()].fanouts.is_empty(), "node still has fanouts");
+        assert!(
+            self.nodes[id.index()].fanouts.is_empty(),
+            "node still has fanouts"
+        );
         assert!(
             !self.outputs.iter().any(|(_, o)| *o == id),
             "node is a primary output"
@@ -482,7 +522,11 @@ impl Network {
     /// Panics if `pi_values.len()` differs from the input count or the
     /// network is cyclic.
     pub fn eval(&self, pi_values: &[bool]) -> Vec<bool> {
-        assert_eq!(pi_values.len(), self.inputs.len(), "PI value count mismatch");
+        assert_eq!(
+            pi_values.len(),
+            self.inputs.len(),
+            "PI value count mismatch"
+        );
         let order = self.topo_order().expect("network must be acyclic");
         let mut values = vec![false; self.nodes.len()];
         for (i, &pi) in self.inputs.iter().enumerate() {
@@ -491,8 +535,7 @@ impl Network {
         for id in order {
             let node = self.node(id);
             if let Some(sop) = node.sop() {
-                let assignment: Vec<bool> =
-                    node.fanins.iter().map(|f| values[f.index()]).collect();
+                let assignment: Vec<bool> = node.fanins.iter().map(|f| values[f.index()]).collect();
                 values[id.index()] = sop.eval(&assignment);
             }
         }
@@ -502,7 +545,81 @@ impl Network {
     /// Evaluate only the primary outputs on a PI assignment.
     pub fn eval_outputs(&self, pi_values: &[bool]) -> Vec<bool> {
         let values = self.eval(pi_values);
-        self.outputs.iter().map(|&(_, o)| values[o.index()]).collect()
+        self.outputs
+            .iter()
+            .map(|&(_, o)| values[o.index()])
+            .collect()
+    }
+
+    /// Bit-parallel evaluation of 64 PI assignments at once: bit `k` of
+    /// `pi_words[i]` is the value of input `i` (in [`Network::inputs`]
+    /// order) under assignment `k`. Returns per-node value words indexed by
+    /// [`NodeId::index`] over the arena.
+    ///
+    /// This is the shared simulation kernel of the Monte-Carlo activity
+    /// estimator and the `verify` equivalence checker — one network pass
+    /// evaluates 64 vectors.
+    ///
+    /// # Panics
+    /// Panics if `pi_words.len()` differs from the input count or the
+    /// network is cyclic.
+    pub fn eval_words(&self, pi_words: &[u64]) -> Vec<u64> {
+        assert_eq!(pi_words.len(), self.inputs.len(), "PI word count mismatch");
+        let order = self.topo_order().expect("network must be acyclic");
+        let mut values = vec![0u64; self.nodes.len()];
+        for (i, &pi) in self.inputs.iter().enumerate() {
+            values[pi.index()] = pi_words[i];
+        }
+        let mut local = Vec::new();
+        for id in order {
+            let node = self.node(id);
+            if let Some(sop) = node.sop() {
+                local.clear();
+                local.extend(node.fanins.iter().map(|f| values[f.index()]));
+                values[id.index()] = sop.eval_words(&local);
+            }
+        }
+        values
+    }
+
+    /// Bit-parallel evaluation of only the primary outputs (see
+    /// [`Network::eval_words`]).
+    pub fn eval_outputs_words(&self, pi_words: &[u64]) -> Vec<u64> {
+        let values = self.eval_words(pi_words);
+        self.outputs
+            .iter()
+            .map(|&(_, o)| values[o.index()])
+            .collect()
+    }
+
+    /// Primary input names in declaration order.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.inputs.iter().map(|&i| self.node(i).name()).collect()
+    }
+
+    /// Position of the named primary input in [`Network::inputs`] order.
+    pub fn input_position(&self, name: &str) -> Option<usize> {
+        self.inputs
+            .iter()
+            .position(|&i| self.node(i).name() == name)
+    }
+
+    /// Input-ordering map from `self` onto `other`: `perm[i]` is the
+    /// position in `other.inputs()` of `self`'s `i`-th input, matched by
+    /// name. This is the shared alignment helper used whenever two networks
+    /// over the same primary inputs are compared (equivalence checking,
+    /// cross-validation).
+    ///
+    /// # Errors
+    /// Returns the name of the first input of `self` missing from `other`.
+    pub fn input_alignment(&self, other: &Network) -> Result<Vec<usize>, String> {
+        self.inputs
+            .iter()
+            .map(|&i| {
+                let name = self.node(i).name();
+                other.input_position(name).ok_or_else(|| name.to_string())
+            })
+            .collect()
     }
 
     /// Structural sanity check: name map, fanin/fanout symmetry, widths,
@@ -573,8 +690,7 @@ impl fmt::Debug for Network {
         for id in self.node_ids() {
             let n = self.node(id);
             if let Some(sop) = n.sop() {
-                let fanins: Vec<&str> =
-                    n.fanins().iter().map(|&x| self.node(x).name()).collect();
+                let fanins: Vec<&str> = n.fanins().iter().map(|&x| self.node(x).name()).collect();
                 writeln!(f, "  {} = f({}) : {}", n.name(), fanins.join(", "), sop)?;
             }
         }
@@ -616,7 +732,10 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut net = Network::new("t");
         net.add_input("a").unwrap();
-        assert!(matches!(net.add_input("a"), Err(NetworkError::DuplicateName(_))));
+        assert!(matches!(
+            net.add_input("a"),
+            Err(NetworkError::DuplicateName(_))
+        ));
     }
 
     #[test]
@@ -693,6 +812,40 @@ mod tests {
         net.check().unwrap();
         // g = c & !a
         assert_eq!(net.eval_outputs(&[false, false, true]), vec![true]);
+    }
+
+    #[test]
+    fn word_eval_matches_scalar_eval() {
+        let (net, ..) = and_or_net();
+        // Pack all 8 assignments of (a, b, c) into one word per input.
+        let mut pi_words = vec![0u64; 3];
+        for bits in 0..8u64 {
+            for (i, w) in pi_words.iter_mut().enumerate() {
+                if bits >> i & 1 == 1 {
+                    *w |= 1 << bits;
+                }
+            }
+        }
+        let words = net.eval_outputs_words(&pi_words);
+        for bits in 0..8u64 {
+            let pis: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expect = net.eval_outputs(&pis);
+            assert_eq!(words[0] >> bits & 1 == 1, expect[0], "at {pis:?}");
+        }
+    }
+
+    #[test]
+    fn input_alignment_by_name() {
+        let (net, ..) = and_or_net();
+        let mut other = Network::new("perm");
+        for name in ["c", "a", "b"] {
+            other.add_input(name).unwrap();
+        }
+        let perm = net.input_alignment(&other).unwrap();
+        assert_eq!(perm, vec![1, 2, 0]);
+        let mut missing = Network::new("m");
+        missing.add_input("a").unwrap();
+        assert_eq!(net.input_alignment(&missing), Err("b".to_string()));
     }
 
     #[test]

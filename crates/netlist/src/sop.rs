@@ -17,17 +17,26 @@ pub struct Sop {
 impl Sop {
     /// The constant-0 cover of the given width.
     pub fn zero(width: usize) -> Sop {
-        Sop { width, cubes: Vec::new() }
+        Sop {
+            width,
+            cubes: Vec::new(),
+        }
     }
 
     /// The constant-1 cover of the given width.
     pub fn one(width: usize) -> Sop {
-        Sop { width, cubes: vec![Cube::tautology(width)] }
+        Sop {
+            width,
+            cubes: vec![Cube::tautology(width)],
+        }
     }
 
     /// Single-literal cover.
     pub fn literal(width: usize, pos: usize, phase: bool) -> Sop {
-        Sop { width, cubes: vec![Cube::literal(width, pos, phase)] }
+        Sop {
+            width,
+            cubes: vec![Cube::literal(width, pos, phase)],
+        }
     }
 
     /// Build from cubes.
@@ -43,7 +52,10 @@ impl Sop {
 
     /// Parse from PLA-style rows, e.g. `Sop::parse(3, &["01-", "--1"])`.
     pub fn parse(width: usize, rows: &[&str]) -> Option<Sop> {
-        let cubes = rows.iter().map(|r| Cube::parse(r)).collect::<Option<Vec<_>>>()?;
+        let cubes = rows
+            .iter()
+            .map(|r| Cube::parse(r))
+            .collect::<Option<Vec<_>>>()?;
         if cubes.iter().any(|c| c.width() != width) {
             return None;
         }
@@ -86,6 +98,15 @@ impl Sop {
         self.cubes.iter().any(|c| c.eval(assignment))
     }
 
+    /// Bit-parallel evaluation on 64 assignments at once (see
+    /// [`Cube::eval_words`]): the result's bit `k` is the cover's value on
+    /// the `k`-th assignment.
+    pub fn eval_words(&self, assignment: &[u64]) -> u64 {
+        self.cubes
+            .iter()
+            .fold(0u64, |acc, c| acc | c.eval_words(assignment))
+    }
+
     /// Add a cube.
     ///
     /// # Panics
@@ -100,7 +121,10 @@ impl Sop {
         assert_eq!(self.width, other.width, "sop width mismatch");
         let mut cubes = self.cubes.clone();
         cubes.extend(other.cubes.iter().cloned());
-        Sop { width: self.width, cubes }
+        Sop {
+            width: self.width,
+            cubes,
+        }
     }
 
     /// Conjunction of two covers of equal width (cross product of cubes).
@@ -114,15 +138,25 @@ impl Sop {
                 }
             }
         }
-        let mut s = Sop { width: self.width, cubes };
+        let mut s = Sop {
+            width: self.width,
+            cubes,
+        };
         s.make_scc_minimal();
         s
     }
 
     /// Cofactor of the cover with respect to `var = phase`.
     pub fn cofactor(&self, pos: usize, phase: bool) -> Sop {
-        let cubes = self.cubes.iter().filter_map(|c| c.cofactor(pos, phase)).collect();
-        Sop { width: self.width, cubes }
+        let cubes = self
+            .cubes
+            .iter()
+            .filter_map(|c| c.cofactor(pos, phase))
+            .collect();
+        Sop {
+            width: self.width,
+            cubes,
+        }
     }
 
     /// Pick a good Shannon splitting variable: the most binate one (appears
@@ -155,7 +189,9 @@ impl Sop {
         }
         match self.binate_split_var() {
             None => self.has_tautology_cube(),
-            Some(v) => self.cofactor(v, true).is_tautology() && self.cofactor(v, false).is_tautology(),
+            Some(v) => {
+                self.cofactor(v, true).is_tautology() && self.cofactor(v, false).is_tautology()
+            }
         }
     }
 
@@ -174,9 +210,14 @@ impl Sop {
                 .bound_lits()
                 .map(|(i, l)| Cube::literal(self.width, i, l == Lit::Neg))
                 .collect();
-            return Sop { width: self.width, cubes };
+            return Sop {
+                width: self.width,
+                cubes,
+            };
         }
-        let v = self.binate_split_var().expect("non-trivial cover must bind a variable");
+        let v = self
+            .binate_split_var()
+            .expect("non-trivial cover must bind a variable");
         let ct = self.cofactor(v, true).complement();
         let cf = self.cofactor(v, false).complement();
         let lit_t = Sop::literal(self.width, v, true);
@@ -204,13 +245,18 @@ impl Sop {
             }
             reduced.push(r);
         }
-        Sop { width: self.width, cubes: reduced }.is_tautology()
+        Sop {
+            width: self.width,
+            cubes: reduced,
+        }
+        .is_tautology()
     }
 
     /// Semantic equivalence check via two containment tests.
     pub fn equivalent(&self, other: &Sop) -> bool {
         assert_eq!(self.width, other.width, "sop width mismatch");
-        self.cubes.iter().all(|c| other.covers_cube(c)) && other.cubes.iter().all(|c| self.covers_cube(c))
+        self.cubes.iter().all(|c| other.covers_cube(c))
+            && other.cubes.iter().all(|c| self.covers_cube(c))
     }
 
     /// Remove duplicate cubes and cubes single-cube-contained in another cube.
@@ -274,14 +320,28 @@ impl Sop {
                 Cube::new(lits)
             })
             .collect();
-        (Sop { width: support.len(), cubes }, support)
+        (
+            Sop {
+                width: support.len(),
+                cubes,
+            },
+            support,
+        )
     }
 
     /// Re-index the cover through `perm` (old position -> new position) into
-    /// width `new_width`.
+    /// width `new_width`. Cubes made contradictory by merging two positions
+    /// with opposite phases are dropped (they covered nothing).
     pub fn remap(&self, perm: &[usize], new_width: usize) -> Sop {
-        let cubes = self.cubes.iter().map(|c| c.remap(perm, new_width)).collect();
-        Sop { width: new_width, cubes }
+        let cubes = self
+            .cubes
+            .iter()
+            .filter_map(|c| c.remap(perm, new_width))
+            .collect();
+        Sop {
+            width: new_width,
+            cubes,
+        }
     }
 
     /// True if every variable appears in at most one phase across the cover.

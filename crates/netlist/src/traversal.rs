@@ -55,7 +55,11 @@ pub fn transitive_fanout(net: &Network, roots: &[NodeId]) -> Vec<NodeId> {
 /// `pi_arrival` gives arrival times in [`Network::inputs`] order (commonly
 /// all zeros). Each logic node adds one unit.
 pub fn unit_arrival_times(net: &Network, pi_arrival: &[i64]) -> Vec<i64> {
-    assert_eq!(pi_arrival.len(), net.inputs().len(), "PI arrival count mismatch");
+    assert_eq!(
+        pi_arrival.len(),
+        net.inputs().len(),
+        "PI arrival count mismatch"
+    );
     let mut arr = vec![0i64; net.arena_len()];
     for (i, &pi) in net.inputs().iter().enumerate() {
         arr[pi.index()] = pi_arrival[i];
@@ -80,7 +84,11 @@ pub fn unit_arrival_times(net: &Network, pi_arrival: &[i64]) -> Vec<i64> {
 /// `po_required` gives required times in [`Network::outputs`] order. Nodes
 /// that reach no output get `i64::MAX`.
 pub fn unit_required_times(net: &Network, po_required: &[i64]) -> Vec<i64> {
-    assert_eq!(po_required.len(), net.outputs().len(), "PO required count mismatch");
+    assert_eq!(
+        po_required.len(),
+        net.outputs().len(),
+        "PO required count mismatch"
+    );
     let mut req = vec![i64::MAX; net.arena_len()];
     for (i, (_, o)) in net.outputs().iter().enumerate() {
         req[o.index()] = req[o.index()].min(po_required[i]);
@@ -169,8 +177,12 @@ mod tests {
         let mut net = Network::new("d");
         let a = net.add_input("a").unwrap();
         let b = net.add_input("b").unwrap();
-        let g = net.add_logic("g", vec![a], Sop::parse(1, &["1"]).unwrap()).unwrap();
-        let h = net.add_logic("h", vec![b], Sop::parse(1, &["0"]).unwrap()).unwrap();
+        let g = net
+            .add_logic("g", vec![a], Sop::parse(1, &["1"]).unwrap())
+            .unwrap();
+        let h = net
+            .add_logic("h", vec![b], Sop::parse(1, &["0"]).unwrap())
+            .unwrap();
         let f = net
             .add_logic("f", vec![g, h], Sop::parse(2, &["11"]).unwrap())
             .unwrap();
@@ -185,7 +197,9 @@ mod tests {
     fn unconstrained_nodes_get_max_slack() {
         let mut net = Network::new("u");
         let a = net.add_input("a").unwrap();
-        let f = net.add_logic("f", vec![a], Sop::parse(1, &["1"]).unwrap()).unwrap();
+        let f = net
+            .add_logic("f", vec![a], Sop::parse(1, &["1"]).unwrap())
+            .unwrap();
         let _dangling = net
             .add_logic("d", vec![a], Sop::parse(1, &["0"]).unwrap())
             .unwrap();

@@ -1,0 +1,82 @@
+//! Test-case execution support: configuration, failure type, and the
+//! deterministic per-test RNG.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// The RNG driving strategy generation.
+pub type TestRng = SmallRng;
+
+/// Runner configuration (only `cases` is honored by this shim).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Failure of a single test case (returned by `prop_assert!` and friends,
+/// or propagated by `?` from helpers).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold; the payload is the failure message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic RNG for one named property: the seed is a hash of the
+/// fully-qualified test name, so runs are reproducible without any state.
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a, good enough to decorrelate sibling tests.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn per_test_rngs_are_stable_and_distinct() {
+        let mut a1 = rng_for_test("mod::a");
+        let mut a2 = rng_for_test("mod::a");
+        let mut b = rng_for_test("mod::b");
+        let x1 = a1.next_u64();
+        assert_eq!(x1, a2.next_u64());
+        assert_ne!(x1, b.next_u64());
+    }
+}

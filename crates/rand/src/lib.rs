@@ -1,0 +1,228 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The build environment resolves dependencies offline, so the real
+//! crates.io `rand` is unavailable. This crate implements exactly the API
+//! surface the workspace uses — [`Rng`] (`gen_range`, `gen_bool`),
+//! [`SeedableRng`] (`seed_from_u64`, `from_seed`) and the
+//! [`rngs::StdRng`] / [`rngs::SmallRng`] generator types — over a
+//! xoshiro256++ core seeded through SplitMix64. The streams differ from
+//! upstream `rand`'s, but every consumer in this workspace either fixes its
+//! own seed (reproducibility, not a specific stream, is what matters) or
+//! asserts statistical tolerances.
+
+pub mod rngs;
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanded with SplitMix64 (the upstream
+    /// convention).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut state).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range, e.g. `rng.gen_range(0..10)` or
+    /// `rng.gen_range(0.0..1.0)`.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// `u64` bits → uniform `f64` in `[0, 1)` with 53-bit precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that can produce a uniform sample.
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased-enough uniform integer in `[0, n)` via 128-bit widening
+/// multiply (bias below `n / 2^64`, irrelevant at workspace scales).
+fn uniform_below(rng: &mut (impl RngCore + ?Sized), n: u64) -> u64 {
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+
+impl_float_ranges!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::{SmallRng, StdRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, (0..8).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(2u64..=6);
+            assert!((2..=6).contains(&y));
+            let z = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_are_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_statistics() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.3).abs() < 0.01, "frequency {freq}");
+    }
+
+    #[test]
+    fn uniform_integer_statistics() {
+        // Each of 8 buckets should receive ~1/8 of the mass.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut buckets = [0u32; 8];
+        for _ in 0..80_000 {
+            buckets[rng.gen_range(0..8usize)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            let freq = b as f64 / 80_000.0;
+            assert!((freq - 0.125).abs() < 0.01, "bucket {i}: {freq}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

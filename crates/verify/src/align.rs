@@ -1,0 +1,101 @@
+//! Name-based alignment of two networks' primary inputs and outputs.
+
+use crate::{OutputPolicy, VerifyError};
+use netlist::Network;
+use std::collections::{HashMap, HashSet};
+
+/// A shared coordinate system for comparing two networks.
+///
+/// Inputs live in the *union* space: `names[k]` is the `k`-th union input,
+/// with `a`'s inputs first (in their declared order) followed by inputs
+/// that only `b` has. `a_pos[i]` / `b_pos[j]` give the union position of
+/// each network's `i`-th / `j`-th declared input.
+#[derive(Debug)]
+pub(crate) struct Alignment {
+    pub names: Vec<String>,
+    pub a_pos: Vec<usize>,
+    pub b_pos: Vec<usize>,
+    /// Matched output pairs `(name, a_output_index, b_output_index)` in
+    /// `a`'s output order.
+    pub outputs: Vec<(String, usize, usize)>,
+}
+
+impl Alignment {
+    /// Project a union-space assignment onto `a`'s input order.
+    pub fn a_inputs<T: Copy>(&self, union: &[T]) -> Vec<T> {
+        self.a_pos.iter().map(|&p| union[p]).collect()
+    }
+
+    /// Project a union-space assignment onto `b`'s input order.
+    pub fn b_inputs<T: Copy>(&self, union: &[T]) -> Vec<T> {
+        self.b_pos.iter().map(|&p| union[p]).collect()
+    }
+}
+
+pub(crate) fn align(
+    a: &Network,
+    b: &Network,
+    policy: OutputPolicy,
+) -> Result<Alignment, VerifyError> {
+    let mut names: Vec<String> = a.input_names().iter().map(|s| s.to_string()).collect();
+    let a_pos: Vec<usize> = (0..names.len()).collect();
+    let index: HashMap<String, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i))
+        .collect();
+    let mut b_pos = Vec::with_capacity(b.inputs().len());
+    for n in b.input_names() {
+        match index.get(n) {
+            Some(&i) => b_pos.push(i),
+            None => {
+                names.push(n.to_string());
+                b_pos.push(names.len() - 1);
+            }
+        }
+    }
+
+    let b_outputs: HashMap<&str, usize> = b
+        .outputs()
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (n.as_str(), i))
+        .collect();
+    let mut outputs = Vec::new();
+    for (i, (n, _)) in a.outputs().iter().enumerate() {
+        match b_outputs.get(n.as_str()) {
+            Some(&j) => outputs.push((n.clone(), i, j)),
+            None if policy == OutputPolicy::Exact => {
+                return Err(VerifyError::OutputMismatch(format!(
+                    "output `{n}` of `{}` missing from `{}`",
+                    a.name(),
+                    b.name()
+                )));
+            }
+            None => {}
+        }
+    }
+    if policy == OutputPolicy::Exact {
+        let a_names: HashSet<&str> = a.outputs().iter().map(|(n, _)| n.as_str()).collect();
+        if let Some((extra, _)) = b
+            .outputs()
+            .iter()
+            .find(|(n, _)| !a_names.contains(n.as_str()))
+        {
+            return Err(VerifyError::OutputMismatch(format!(
+                "output `{extra}` of `{}` missing from `{}`",
+                b.name(),
+                a.name()
+            )));
+        }
+    }
+    if outputs.is_empty() {
+        return Err(VerifyError::NoCommonOutputs);
+    }
+    Ok(Alignment {
+        names,
+        a_pos,
+        b_pos,
+        outputs,
+    })
+}

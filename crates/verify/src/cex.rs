@@ -1,0 +1,130 @@
+//! Counterexample construction: greedy minimization and cone diagnosis.
+
+use crate::align::Alignment;
+use netlist::Network;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A concrete input vector on which the two networks disagree.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Full assignment over the union of both networks' input names.
+    /// Non-essential inputs are canonicalized to `false` where possible.
+    pub inputs: Vec<(String, bool)>,
+    /// Essential inputs after greedy minimization: flipping any one of
+    /// these (alone) makes the disagreement disappear.
+    pub care: Vec<String>,
+    /// Name of the first diverging primary output.
+    pub output: String,
+    /// Output values `(left, right)` under the assignment.
+    pub values: (bool, bool),
+    /// First same-named internal node (topological order) inside the
+    /// diverging output's cone whose value differs between the networks —
+    /// localizes the offending logic when node names survive the pass.
+    pub divergent_node: Option<String>,
+}
+
+impl Counterexample {
+    /// Value assigned to the named input, if it exists in either network.
+    pub fn input_value(&self, name: &str) -> Option<bool> {
+        self.inputs.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "output `{}` differs ({} vs {}) under ",
+            self.output, self.values.0 as u8, self.values.1 as u8
+        )?;
+        if self.care.is_empty() {
+            write!(f, "every assignment")?;
+        } else {
+            let lits: Vec<String> = self
+                .care
+                .iter()
+                .map(|n| format!("{n}={}", self.input_value(n).unwrap_or(false) as u8))
+                .collect();
+            write!(f, "{} (other inputs free)", lits.join(" "))?;
+        }
+        if let Some(node) = &self.divergent_node {
+            write!(f, "; first divergent node `{node}`")?;
+        }
+        Ok(())
+    }
+}
+
+/// Build a minimized counterexample from a union-space assignment known to
+/// make some matched output pair disagree.
+pub(crate) fn build(
+    a: &Network,
+    b: &Network,
+    al: &Alignment,
+    mut union: Vec<bool>,
+) -> Counterexample {
+    let diverges = |u: &[bool]| -> Option<usize> {
+        let ao = a.eval_outputs(&al.a_inputs(u));
+        let bo = b.eval_outputs(&al.b_inputs(u));
+        al.outputs.iter().position(|(_, ai, bi)| ao[*ai] != bo[*bi])
+    };
+    debug_assert!(
+        diverges(&union).is_some(),
+        "build() requires a diverging assignment"
+    );
+
+    // Greedy flip-to-care-set reduction. Invariant: `union` diverges at
+    // the top of every iteration. An input whose flip kills the
+    // divergence is essential; any other input is a don't-care here and
+    // gets canonicalized to `false` (both of its values diverge).
+    let mut care = Vec::new();
+    for i in 0..union.len() {
+        let original = union[i];
+        union[i] = !original;
+        if diverges(&union).is_some() {
+            union[i] = false;
+        } else {
+            union[i] = original;
+            care.push(al.names[i].clone());
+        }
+    }
+
+    let oi = diverges(&union).expect("minimized assignment must still diverge");
+    let (output, ai, bi) = &al.outputs[oi];
+    let a_values = a.eval(&al.a_inputs(&union));
+    let b_values = b.eval(&al.b_inputs(&union));
+    let a_out = a.outputs()[*ai].1;
+    let values = (
+        a_values[a_out.index()],
+        b_values[b.outputs()[*bi].1.index()],
+    );
+
+    // Walk the diverging output's cone in `a` (topological order) and
+    // report the first same-named node whose value differs in `b`.
+    let mut cone = HashSet::new();
+    let mut stack = vec![a_out];
+    while let Some(id) = stack.pop() {
+        if cone.insert(id) {
+            stack.extend(a.node(id).fanins());
+        }
+    }
+    let divergent_node = a.topo_order().ok().and_then(|order| {
+        order
+            .into_iter()
+            .filter(|id| cone.contains(id) && !a.node(*id).is_input())
+            .find_map(|id| {
+                let name = a.node(id).name();
+                let bid = b.find(name)?;
+                (a_values[id.index()] != b_values[bid.index()]).then(|| name.to_string())
+            })
+    });
+
+    let inputs = al.names.iter().cloned().zip(union).collect();
+    Counterexample {
+        inputs,
+        care,
+        output: output.clone(),
+        values,
+        divergent_node,
+    }
+}

@@ -18,8 +18,10 @@ fn main() {
     let probs = [0.2, 0.35, 0.6, 0.85, 0.45];
 
     // ---- p-type vs n-type dynamic blocks -----------------------------
-    for (label, model) in [("p-type", TransitionModel::DominoP), ("n-type", TransitionModel::DominoN)]
-    {
+    for (label, model) in [
+        ("p-type", TransitionModel::DominoP),
+        ("n-type", TransitionModel::DominoN),
+    ] {
         let obj = DecompObjective::new(model, GateKind::And);
         let tree = huffman_tree(&probs, obj);
         let (opt, _) = exhaustive_minpower(&probs, obj);
@@ -29,7 +31,10 @@ fn main() {
             opt,
             tree.canonical_string()
         );
-        assert!((tree.internal_cost(obj) - opt).abs() < 1e-9, "Theorem 2.2 must hold");
+        assert!(
+            (tree.internal_cost(obj) - opt).abs() < 1e-9,
+            "Theorem 2.2 must hold"
+        );
     }
 
     // ---- correlated inputs -------------------------------------------

@@ -10,7 +10,9 @@ use lowpower::flow::{optimize, run_method, FlowConfig, Method};
 use std::collections::BTreeMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "alu2".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "alu2".to_string());
     let net = benchgen::suite_circuit(&name);
     let lib = lib2_like();
     println!(
@@ -45,8 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for inst in &r.mapped.instances {
             *mix.entry(lib.gates()[inst.gate].name()).or_insert(0) += 1;
         }
-        let mix_str: Vec<String> =
-            mix.iter().map(|(g, c)| format!("{g}×{c}")).collect();
+        let mix_str: Vec<String> = mix.iter().map(|(g, c)| format!("{g}×{c}")).collect();
         println!(
             "{:<7} {:>8.1} {:>8.2} {:>10.1} {:>12.2}   {}",
             m.to_string(),

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let glitch = simulate_glitch_power(&mapped, &lib, &env, &pi_probs, 5_000, &mut rng, 1.0);
 
-    println!("\nmapped: {} gates, area {:.1}, delay {:.2} ns", zero.gate_count, zero.area, zero.delay);
+    println!(
+        "\nmapped: {} gates, area {:.1}, delay {:.2} ns",
+        zero.gate_count, zero.area, zero.delay
+    );
     println!("zero-delay power:   {:>8.1} µW", zero.power_uw);
     println!(
         "glitch-aware power: {:>8.1} µW  ({:+.0} % — carry chains glitch)",

@@ -34,15 +34,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (optimal, _) = exhaustive_minpower(&p, obj);
 
     println!("Figure 1 — 4-input AND, P(a..d) = (0.3, 0.4, 0.7, 0.5), domino p-type:");
-    println!("  configuration A (chain):    SR = {:.3}  (paper: 2.146)", chain.total_cost(obj));
-    println!("  configuration B (balanced): SR = {:.3}  (paper: 2.412)", balanced.total_cost(obj));
+    println!(
+        "  configuration A (chain):    SR = {:.3}  (paper: 2.146)",
+        chain.total_cost(obj)
+    );
+    println!(
+        "  configuration B (balanced): SR = {:.3}  (paper: 2.412)",
+        balanced.total_cost(obj)
+    );
     println!(
         "  Huffman MINPOWER optimum:   SR = {:.3}  (internal {:.3}, exhaustive {:.3})",
         huffman.total_cost(obj),
         huffman.internal_cost(obj),
         optimal
     );
-    assert!((huffman.internal_cost(obj) - optimal).abs() < 1e-9, "Theorem 2.2");
+    assert!(
+        (huffman.internal_cost(obj) - optimal).abs() < 1e-9,
+        "Theorem 2.2"
+    );
 
     // ---- Part 2: the full flow on a small circuit --------------------
     let blif = "\
@@ -67,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = parse_blif(blif)?.network;
     let lib = lib2_like();
     let cfg = FlowConfig::default();
-    println!("\nFull flow on a 5-input demo circuit ({} nodes):", net.logic_count());
+    println!(
+        "\nFull flow on a 5-input demo circuit ({} nodes):",
+        net.logic_count()
+    );
     for method in [Method::I, Method::IV] {
         let r = run_flow(&net, &lib, method, &cfg)?;
         println!(

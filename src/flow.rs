@@ -17,6 +17,7 @@ use lowpower_core::power::{evaluate, MappedReport};
 use netlist::Network;
 use rand::SeedableRng;
 use std::fmt;
+use verify::{check_equiv, OutputPolicy, Verdict, VerifyLevel, VerifyOptions};
 
 /// One of the paper's six synthesis method combinations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,8 +38,14 @@ pub enum Method {
 
 impl Method {
     /// All six methods in table order.
-    pub const ALL: [Method; 6] =
-        [Method::I, Method::II, Method::III, Method::IV, Method::V, Method::VI];
+    pub const ALL: [Method; 6] = [
+        Method::I,
+        Method::II,
+        Method::III,
+        Method::IV,
+        Method::V,
+        Method::VI,
+    ];
 
     /// The decomposition style of this method.
     pub fn decomp_style(self) -> DecompStyle {
@@ -96,6 +103,10 @@ pub struct FlowConfig {
     pub sim_vectors: usize,
     /// Seed for the glitch simulation.
     pub sim_seed: u64,
+    /// Post-pass equivalence checking: every transforming stage
+    /// (optimize, decompose, map) is checked against its input at this
+    /// level. [`VerifyLevel::Off`] skips the checks entirely.
+    pub verify: VerifyLevel,
 }
 
 impl Default for FlowConfig {
@@ -110,6 +121,7 @@ impl Default for FlowConfig {
             use_correlations: false,
             sim_vectors: 600,
             sim_seed: 0xC0FFEE,
+            verify: VerifyLevel::Off,
         }
     }
 }
@@ -119,12 +131,37 @@ impl Default for FlowConfig {
 pub enum FlowError {
     /// Mapping failed.
     Map(lowpower_core::map::MapError),
+    /// A verification checkpoint found a functional difference.
+    Verify {
+        /// Stage that broke the function (`"optimize"`, `"decompose"`,
+        /// `"map"`).
+        stage: &'static str,
+        /// The minimized witness.
+        counterexample: Box<verify::Counterexample>,
+    },
+    /// A verification checkpoint could not compare the networks at all
+    /// (e.g. mismatched outputs) — itself a sign of a broken pass.
+    VerifySetup {
+        /// Stage at which comparison failed.
+        stage: &'static str,
+        /// The structural problem.
+        error: verify::VerifyError,
+    },
 }
 
 impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FlowError::Map(e) => write!(f, "mapping failed: {e}"),
+            FlowError::Verify {
+                stage,
+                counterexample,
+            } => {
+                write!(f, "{stage} is not function-preserving: {counterexample}")
+            }
+            FlowError::VerifySetup { stage, error } => {
+                write!(f, "{stage} verification impossible: {error}")
+            }
         }
     }
 }
@@ -134,6 +171,26 @@ impl std::error::Error for FlowError {}
 impl From<lowpower_core::map::MapError> for FlowError {
     fn from(e: lowpower_core::map::MapError) -> Self {
         FlowError::Map(e)
+    }
+}
+
+/// Run one verification checkpoint: compare `before` and `after` at
+/// `cfg.verify` level, turning any disagreement into a [`FlowError`].
+fn checkpoint(
+    stage: &'static str,
+    before: &Network,
+    after: &Network,
+    outputs: OutputPolicy,
+    cfg: &FlowConfig,
+) -> Result<(), FlowError> {
+    let opts = VerifyOptions::at_level(cfg.verify).with_outputs(outputs);
+    match check_equiv(before, after, &opts) {
+        Ok(Verdict::NotEquivalent(counterexample)) => Err(FlowError::Verify {
+            stage,
+            counterexample,
+        }),
+        Ok(_) => Ok(()),
+        Err(error) => Err(FlowError::VerifySetup { stage, error }),
     }
 }
 
@@ -165,7 +222,10 @@ pub fn strip_constant_outputs(net: &Network) -> (Network, Vec<(String, bool)>) {
         .iter()
         .filter(|(_, o)| is_const(*o))
         .map(|(n, o)| {
-            (n.clone(), net.node(*o).sop().expect("logic").has_tautology_cube())
+            (
+                n.clone(),
+                net.node(*o).sop().expect("logic").has_tautology_cube(),
+            )
         })
         .collect();
     if const_outputs.is_empty() {
@@ -174,7 +234,11 @@ pub fn strip_constant_outputs(net: &Network) -> (Network, Vec<(String, bool)>) {
     let mut out = Network::new(net.name().to_string());
     let mut map = std::collections::HashMap::new();
     for &pi in net.inputs() {
-        map.insert(pi, out.add_input(net.node(pi).name().to_string()).expect("fresh"));
+        map.insert(
+            pi,
+            out.add_input(net.node(pi).name().to_string())
+                .expect("fresh"),
+        );
     }
     for id in net.topo_order().expect("acyclic") {
         let node = net.node(id);
@@ -241,6 +305,13 @@ pub fn run_method(
         use_correlations: cfg.use_correlations,
     };
     let decomposed = decompose_network(optimized, &dopts);
+    checkpoint(
+        "decompose",
+        optimized,
+        &decomposed.network,
+        OutputPolicy::Exact,
+        cfg,
+    )?;
     let (mappable, _const_outputs) = strip_constant_outputs(&decomposed.network);
     let act = analyze(&mappable, &pi_probs, cfg.model);
     let decomp_switching = act.total_switching(mappable.logic_ids());
@@ -255,6 +326,10 @@ pub fn run_method(
         ..MapOptions::power()
     };
     let mapped = map_network(&aig, lib, &mopts)?;
+    if cfg.verify != VerifyLevel::Off {
+        let view = mapped.to_network(lib, mappable.name());
+        checkpoint("map", &mappable, &view, OutputPolicy::Exact, cfg)?;
+    }
     let report = evaluate(&mapped, lib, &cfg.env, cfg.model, cfg.po_load);
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.sim_seed);
     let glitch = lowpower_core::power::simulate_glitch_power(
@@ -286,5 +361,6 @@ pub fn run_flow(
     cfg: &FlowConfig,
 ) -> Result<MethodResult, FlowError> {
     let optimized = optimize(net);
+    checkpoint("optimize", net, &optimized, OutputPolicy::Exact, cfg)?;
     run_method(&optimized, lib, method, cfg)
 }

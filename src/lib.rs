@@ -12,5 +12,6 @@ pub use genlib;
 pub use logicopt;
 pub use lowpower_core as core;
 pub use netlist;
+pub use verify;
 
 pub mod flow;

@@ -3,7 +3,8 @@
 //! ```text
 //! lowpower synth  --blif CIRCUIT.blif [--lib LIB.genlib] [--method VI]
 //!                 [--required NS] [--out MAPPED.blif] [--correlations]
-//! lowpower report --blif CIRCUIT.blif [--lib LIB.genlib]
+//!                 [--verify[=sim|full]]
+//! lowpower report --blif CIRCUIT.blif [--lib LIB.genlib] [--verify[=sim|full]]
 //! lowpower decomp --blif CIRCUIT.blif [--style minpower|conventional|bounded]
 //! ```
 //!
@@ -12,9 +13,16 @@
 //! it writes the mapped netlist as structural BLIF. `report` runs all six
 //! paper methods and prints a comparison table. `decomp` stops after
 //! technology decomposition and prints network statistics.
+//!
+//! `--verify` adds an equivalence checkpoint after every transforming
+//! stage (optimize, decompose, map): `--verify` / `--verify=full` proves
+//! equivalence with BDDs (falling back to simulation over a node budget),
+//! `--verify=sim` uses bit-parallel random simulation only. A failing
+//! checkpoint aborts with a minimized counterexample.
 
 use genlib::{builtin::lib2_like, Library};
 use lowpower::flow::{optimize, run_method, FlowConfig, Method};
+use lowpower::verify::VerifyLevel;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -25,8 +33,8 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  lowpower synth  --blif FILE [--lib FILE] [--method I..VI] [--required NS] [--out FILE] [--correlations]");
-            eprintln!("  lowpower report --blif FILE [--lib FILE]");
+            eprintln!("  lowpower synth  --blif FILE [--lib FILE] [--method I..VI] [--required NS] [--out FILE] [--correlations] [--verify[=sim|full]]");
+            eprintln!("  lowpower report --blif FILE [--lib FILE] [--verify[=sim|full]]");
             eprintln!("  lowpower decomp --blif FILE [--style conventional|minpower|bounded]");
             ExitCode::from(2)
         }
@@ -41,6 +49,7 @@ struct Opts {
     out: Option<String>,
     style: String,
     correlations: bool,
+    verify: VerifyLevel,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -52,11 +61,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         out: None,
         style: "minpower".to_string(),
         correlations: false,
+        verify: VerifyLevel::Off,
     };
     let mut i = 0;
     while i < args.len() {
         let need = |i: usize| -> Result<&String, String> {
-            args.get(i + 1).ok_or_else(|| format!("`{}` needs a value", args[i]))
+            args.get(i + 1)
+                .ok_or_else(|| format!("`{}` needs a value", args[i]))
         };
         match args[i].as_str() {
             "--blif" => {
@@ -96,7 +107,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 i += 1;
             }
             "--correlations" => o.correlations = true,
-            other => return Err(format!("unknown option `{other}`")),
+            "--verify" => o.verify = VerifyLevel::Full,
+            other => match other.strip_prefix("--verify=") {
+                Some(level) => o.verify = level.parse()?,
+                None => return Err(format!("unknown option `{other}`")),
+            },
         }
         i += 1;
     }
@@ -105,15 +120,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 
 fn load_inputs(o: &Opts) -> Result<(netlist::Network, Library), String> {
     let path = o.blif.as_ref().ok_or("--blif is required")?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let net = netlist::parse_blif(&text)
         .map_err(|e| format!("{path}: {e}"))?
         .network;
     let lib = match &o.lib {
         Some(lp) => {
-            let lt =
-                std::fs::read_to_string(lp).map_err(|e| format!("reading {lp}: {e}"))?;
+            let lt = std::fs::read_to_string(lp).map_err(|e| format!("reading {lp}: {e}"))?;
             Library::parse(&lt).map_err(|e| format!("{lp}: {e}"))?
         }
         None => lib2_like(),
@@ -134,21 +147,52 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Check the stand-alone optimize step (the in-flow checkpoints cover
+/// decompose and map) at the requested level.
+fn check_optimize(
+    net: &netlist::Network,
+    optimized: &netlist::Network,
+    level: VerifyLevel,
+) -> Result<(), String> {
+    use lowpower::verify::{check_equiv, Verdict, VerifyOptions};
+    match check_equiv(net, optimized, &VerifyOptions::at_level(level))
+        .map_err(|e| format!("optimize verification impossible: {e}"))?
+    {
+        Verdict::NotEquivalent(cex) => Err(format!("optimize is not function-preserving: {cex}")),
+        _ => Ok(()),
+    }
+}
+
 fn synth(o: &Opts) -> Result<(), String> {
     let (net, lib) = load_inputs(o)?;
     let cfg = FlowConfig {
         required_time: o.required,
         use_correlations: o.correlations,
+        verify: o.verify,
         ..FlowConfig::default()
     };
     let optimized = optimize(&net);
+    check_optimize(&net, &optimized, o.verify)?;
     let r = run_method(&optimized, &lib, o.method, &cfg).map_err(|e| e.to_string())?;
-    println!("circuit   : {} ({} PIs, {} POs)", net.name(), net.inputs().len(), net.outputs().len());
-    println!("method    : {} ({:?} decomposition, {:?} mapping)", o.method, o.method.decomp_style(), o.method.map_objective());
+    println!(
+        "circuit   : {} ({} PIs, {} POs)",
+        net.name(),
+        net.inputs().len(),
+        net.outputs().len()
+    );
+    println!(
+        "method    : {} ({:?} decomposition, {:?} mapping)",
+        o.method,
+        o.method.decomp_style(),
+        o.method.map_objective()
+    );
     println!("gates     : {}", r.report.gate_count);
     println!("area      : {:.1}", r.report.area);
     println!("delay     : {:.2} ns", r.report.delay);
-    println!("power     : {:.1} µW (zero-delay), {:.1} µW (glitch-aware)", r.report.power_uw, r.glitch_power_uw);
+    println!(
+        "power     : {:.1} µW (zero-delay), {:.1} µW (glitch-aware)",
+        r.report.power_uw, r.glitch_power_uw
+    );
     if let Some(out) = &o.out {
         let text = r.mapped.to_blif(&lib, &format!("{}_mapped", net.name()));
         std::fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
@@ -160,15 +204,20 @@ fn synth(o: &Opts) -> Result<(), String> {
 fn report(o: &Opts) -> Result<(), String> {
     let (net, lib) = load_inputs(o)?;
     let optimized = optimize(&net);
+    check_optimize(&net, &optimized, o.verify)?;
     // Shared timing target as in the paper harness.
     let probe = run_method(&optimized, &lib, Method::I, &FlowConfig::default())
         .map_err(|e| e.to_string())?;
     let cfg = FlowConfig {
         required_time: Some(o.required.unwrap_or(probe.mapped.estimated_fastest * 1.10)),
         use_correlations: o.correlations,
+        verify: o.verify,
         ..FlowConfig::default()
     };
-    println!("{:<7} {:>8} {:>9} {:>12} {:>12}", "method", "area", "delay", "power µW", "glitch µW");
+    println!(
+        "{:<7} {:>8} {:>9} {:>12} {:>12}",
+        "method", "area", "delay", "power µW", "glitch µW"
+    );
     for m in Method::ALL {
         let r = run_method(&optimized, &lib, m, &cfg).map_err(|e| e.to_string())?;
         println!(
@@ -195,7 +244,10 @@ fn decomp(o: &Opts) -> Result<(), String> {
     let optimized = optimize(&net);
     let d = decompose_network(
         &optimized,
-        &DecompOptions { use_correlations: o.correlations, ..DecompOptions::new(style) },
+        &DecompOptions {
+            use_correlations: o.correlations,
+            ..DecompOptions::new(style)
+        },
     );
     let probs = vec![0.5; optimized.inputs().len()];
     let act = lowpower::activity::analyze(

@@ -17,16 +17,23 @@ fn bdd_matches_simulation_on_random_networks() {
             max_fanin: 3,
             seed,
         });
-        let probs: Vec<f64> =
-            (0..8).map(|i| 0.2 + 0.08 * i as f64).collect();
+        let probs: Vec<f64> = (0..8).map(|i| 0.2 + 0.08 * i as f64).collect();
         let act = analyze(&net, &probs, TransitionModel::StaticCmos);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
         let sim = simulate_activity(&net, &probs, 40_000, &mut rng);
         for id in net.node_ids() {
             let dp = (act.p_one(id) - sim.p_one(id)).abs();
             let ds = (act.switching(id) - sim.switching(id)).abs();
-            assert!(dp < 0.02, "seed {seed}: p_one off by {dp} at {}", net.node(id).name());
-            assert!(ds < 0.02, "seed {seed}: switching off by {ds} at {}", net.node(id).name());
+            assert!(
+                dp < 0.02,
+                "seed {seed}: p_one off by {dp} at {}",
+                net.node(id).name()
+            );
+            assert!(
+                ds < 0.02,
+                "seed {seed}: switching off by {ds} at {}",
+                net.node(id).name()
+            );
         }
     }
 }
@@ -58,7 +65,9 @@ fn decomposition_preserves_exact_probabilities() {
     let act_d = analyze(&d.network, &probs, TransitionModel::StaticCmos);
     for id in net.logic_ids() {
         let name = net.node(id).name();
-        let Some(root) = d.network.find(name) else { continue };
+        let Some(root) = d.network.find(name) else {
+            continue;
+        };
         let (p0, p1) = (act.p_one(id), act_d.p_one(root));
         assert!(
             (p0 - p1).abs() < 1e-9,
@@ -87,7 +96,10 @@ fn exact_joints_respect_frechet_bounds() {
             let j = bdds.joint(a, b);
             let (pa, pb) = (bdds.p_one(a), bdds.p_one(b));
             assert!(j <= pa.min(pb) + 1e-9, "joint above Fréchet upper bound");
-            assert!(j >= (pa + pb - 1.0).max(0.0) - 1e-9, "joint below lower bound");
+            assert!(
+                j >= (pa + pb - 1.0).max(0.0) - 1e-9,
+                "joint below lower bound"
+            );
         }
     }
 }
@@ -106,6 +118,9 @@ fn domino_activity_is_phase_asymmetric() {
     let n = analyze(&net, &probs, TransitionModel::DominoN);
     for id in net.logic_ids() {
         let sum = p.switching(id) + n.switching(id);
-        assert!((sum - 1.0).abs() < 1e-9, "E_p + E_n must be 1 for domino pairs");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "E_p + E_n must be 1 for domino pairs"
+        );
     }
 }

@@ -2,8 +2,8 @@
 
 use activity::TransitionModel;
 use lowpower::core::decomp::{
-    bounded_minpower_tree, exhaustive_minpower, huffman_tree, minpower_tree,
-    modified_huffman_tree, package_merge_levels, DecompObjective, GateKind,
+    bounded_minpower_tree, exhaustive_minpower, huffman_tree, minpower_tree, modified_huffman_tree,
+    package_merge_levels, DecompObjective, GateKind,
 };
 use proptest::prelude::*;
 

@@ -16,8 +16,12 @@ fn check_equivalence(original: &Network, result: &lowpower::flow::MethodResult) 
     let n = original.inputs().len();
     let vectors = if n <= 10 { 1 << n } else { 512 };
     // Build the name order of mapped outputs.
-    let mapped_outputs: Vec<&str> =
-        result.mapped.outputs.iter().map(|(n, _)| n.as_str()).collect();
+    let mapped_outputs: Vec<&str> = result
+        .mapped
+        .outputs
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
     for v in 0..vectors {
         let pis: Vec<bool> = if n <= 10 {
             (0..n).map(|i| v >> i & 1 == 1).collect()
@@ -32,17 +36,17 @@ fn check_equivalence(original: &Network, result: &lowpower::flow::MethodResult) 
                 .iter()
                 .position(|(on, _)| on == name)
                 .unwrap_or_else(|| panic!("output {name} not in original"));
-            assert_eq!(
-                got[gi], expect[oi],
-                "output `{name}` differs at {pis:?}"
-            );
+            assert_eq!(got[gi], expect[oi], "output `{name}` differs at {pis:?}");
         }
     }
 }
 
 fn run_all_methods(net: &Network) {
     let lib = lib2_like();
-    let cfg = FlowConfig { sim_vectors: 50, ..FlowConfig::default() };
+    let cfg = FlowConfig {
+        sim_vectors: 50,
+        ..FlowConfig::default()
+    };
     let optimized = optimize(net);
     for m in Method::ALL {
         let r = run_method(&optimized, &lib, m, &cfg)
@@ -102,7 +106,11 @@ fn optimization_preserves_function_on_suite() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         for _ in 0..256 {
             let pis: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
-            assert_eq!(net.eval_outputs(&pis), opt.eval_outputs(&pis), "{name} diverged");
+            assert_eq!(
+                net.eval_outputs(&pis),
+                opt.eval_outputs(&pis),
+                "{name} diverged"
+            );
         }
     }
 }
@@ -117,8 +125,7 @@ fn pd_map_power_not_worse_within_suite_geomean() {
     for name in ["cm42a", "x2", "s208", "alu2"] {
         let net = benchgen::suite_circuit(name);
         let optimized = optimize(&net);
-        let probe =
-            run_method(&optimized, &lib, Method::I, &FlowConfig::default()).unwrap();
+        let probe = run_method(&optimized, &lib, Method::I, &FlowConfig::default()).unwrap();
         let cfg = FlowConfig {
             required_time: Some(probe.mapped.estimated_fastest * 1.10),
             sim_vectors: 400,
@@ -130,7 +137,10 @@ fn pd_map_power_not_worse_within_suite_geomean() {
         count += 1;
     }
     let geo = (log_ratio / count as f64).exp();
-    assert!(geo <= 1.02, "pd-map geometric-mean power ratio {geo:.3} vs ad-map");
+    assert!(
+        geo <= 1.02,
+        "pd-map geometric-mean power ratio {geo:.3} vs ad-map"
+    );
 }
 
 #[test]
@@ -144,7 +154,11 @@ fn domino_models_run_end_to_end() {
     let optimized = optimize(&net);
     let mut powers = Vec::new();
     for model in [TransitionModel::DominoP, TransitionModel::DominoN] {
-        let cfg = FlowConfig { model, sim_vectors: 50, ..FlowConfig::default() };
+        let cfg = FlowConfig {
+            model,
+            sim_vectors: 50,
+            ..FlowConfig::default()
+        };
         let r = run_method(&optimized, &lib, Method::V, &cfg)
             .unwrap_or_else(|e| panic!("domino flow failed: {e}"));
         check_equivalence(&optimized, &r);
@@ -160,7 +174,11 @@ fn correlated_flow_runs_end_to_end() {
     let lib = lib2_like();
     let net = benchgen::structured::alu(2);
     let optimized = optimize(&net);
-    let cfg = FlowConfig { use_correlations: true, sim_vectors: 50, ..FlowConfig::default() };
+    let cfg = FlowConfig {
+        use_correlations: true,
+        sim_vectors: 50,
+        ..FlowConfig::default()
+    };
     let r = run_method(&optimized, &lib, Method::V, &cfg).expect("correlated flow");
     check_equivalence(&optimized, &r);
 }

@@ -6,8 +6,8 @@ use activity::{analyze, TransitionModel};
 use benchgen::{random_network, RandomNetConfig};
 use genlib::builtin::lib2_like;
 use lowpower::core::decomp::{decompose_network, DecompOptions, DecompStyle};
-use lowpower::core::map::{map_network, MapOptions};
 use lowpower::core::map::SubjectAig;
+use lowpower::core::map::{map_network, MapOptions};
 use lowpower::flow::strip_constant_outputs;
 use proptest::prelude::*;
 
@@ -28,7 +28,11 @@ fn pipeline_equivalence(seed: u64, style: DecompStyle, power: bool) -> Result<()
     let act = analyze(&mappable, &probs, TransitionModel::StaticCmos);
     let aig = SubjectAig::from_network(&mappable, &act).expect("mappable network");
     let lib = lib2_like();
-    let opts = if power { MapOptions::power() } else { MapOptions::area() };
+    let opts = if power {
+        MapOptions::power()
+    } else {
+        MapOptions::area()
+    };
     let mapped = map_network(&aig, &lib, &opts).expect("maps");
 
     // Exhaustive functional check against the ORIGINAL network.
