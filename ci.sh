@@ -19,4 +19,10 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> lint gate (examples/blif, --lint=deny)"
+for f in examples/blif/*.blif; do
+    echo "    lint $f"
+    cargo run --release --quiet -- lint --blif "$f" --lint=deny
+done
+
 echo "CI OK"

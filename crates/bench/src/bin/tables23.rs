@@ -166,6 +166,7 @@ fn rerun_with(
         decomp_depth: d.depth,
         decomp_switching: sw,
         mapped,
+        lint_findings: Vec::new(),
     }
 }
 

@@ -33,6 +33,28 @@ impl Point {
     }
 }
 
+/// One violation of the finalized-curve invariant, reported by
+/// [`Curve::invariant_defects`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CurveDefect {
+    /// A point carries a NaN or infinite arrival, cost or drive.
+    NonFinite {
+        /// Index of the offending point.
+        point: usize,
+    },
+    /// The point's arrival is not strictly greater than its predecessor's.
+    ArrivalNotIncreasing {
+        /// Index of the offending point.
+        point: usize,
+    },
+    /// The point's cost is not strictly smaller than its predecessor's —
+    /// the point is dominated.
+    CostNotDecreasing {
+        /// Index of the offending point.
+        point: usize,
+    },
+}
+
 /// A monotone non-increasing curve of non-inferior `(arrival, cost)` points,
 /// sorted by increasing arrival and strictly decreasing cost.
 #[derive(Debug, Clone, Default)]
@@ -114,6 +136,58 @@ impl Curve {
             kept = thinned;
         }
         self.points = kept;
+        debug_assert!(
+            self.invariant_violation().is_none(),
+            "finalize broke the curve invariant: {:?}",
+            self.invariant_violation()
+        );
+    }
+
+    /// All violations of the non-inferiority invariant that must hold after
+    /// [`Curve::finalize`]: every field finite, arrivals strictly
+    /// increasing, costs strictly decreasing (so no point dominates
+    /// another). `point` indexes the offending entry of [`Curve::points`].
+    /// Shared by the `finalize` debug assertion and the `CRV*` lint rules.
+    pub fn invariant_defects(&self) -> Vec<CurveDefect> {
+        let mut defects = Vec::new();
+        for (i, p) in self.points.iter().enumerate() {
+            if !p.arrival.is_finite() || !p.cost.is_finite() || !p.drive.is_finite() {
+                defects.push(CurveDefect::NonFinite { point: i });
+            }
+        }
+        for (i, w) in self.points.windows(2).enumerate() {
+            if w[1].arrival <= w[0].arrival {
+                defects.push(CurveDefect::ArrivalNotIncreasing { point: i + 1 });
+            }
+            if w[1].cost >= w[0].cost {
+                defects.push(CurveDefect::CostNotDecreasing { point: i + 1 });
+            }
+        }
+        defects
+    }
+
+    /// First invariant defect rendered as text; `None` when the curve is
+    /// well-formed. Convenience wrapper over [`Curve::invariant_defects`].
+    pub fn invariant_violation(&self) -> Option<String> {
+        self.invariant_defects().first().map(|d| match *d {
+            CurveDefect::NonFinite { point } => {
+                let p = &self.points[point];
+                format!(
+                    "point {point} has a non-finite field (arrival {}, cost {}, drive {})",
+                    p.arrival, p.cost, p.drive
+                )
+            }
+            CurveDefect::ArrivalNotIncreasing { point } => format!(
+                "arrivals not strictly increasing at point {point}: {} after {}",
+                self.points[point].arrival,
+                self.points[point - 1].arrival
+            ),
+            CurveDefect::CostNotDecreasing { point } => format!(
+                "costs not strictly decreasing at point {point}: {} after {} (point is dominated)",
+                self.points[point].cost,
+                self.points[point - 1].cost
+            ),
+        })
     }
 
     /// Best (cheapest) point whose arrival at the given pin load meets
@@ -209,6 +283,34 @@ mod tests {
         assert_eq!(p.cost, 5.0);
         // requirement 2.0 at heavy load admits nothing.
         assert!(c.best_within(2.0, 3.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn invariant_violation_detects_breaks() {
+        let mut good = Curve::new();
+        good.push(pt(1.0, 10.0));
+        good.push(pt(2.0, 5.0));
+        assert!(good.invariant_violation().is_none());
+
+        let mut dominated = Curve::new();
+        dominated.push(pt(1.0, 10.0));
+        dominated.push(pt(2.0, 10.0)); // slower, not cheaper
+        assert!(dominated
+            .invariant_violation()
+            .unwrap()
+            .contains("dominated"));
+
+        let mut unsorted = Curve::new();
+        unsorted.push(pt(2.0, 5.0));
+        unsorted.push(pt(1.0, 10.0));
+        assert!(unsorted
+            .invariant_violation()
+            .unwrap()
+            .contains("strictly increasing"));
+
+        let mut nan = Curve::new();
+        nan.push(pt(f64::NAN, 1.0));
+        assert!(nan.invariant_violation().unwrap().contains("non-finite"));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod output;
 pub mod pattern;
 pub mod subject;
 
-pub use curve::{Curve, Point};
+pub use curve::{Curve, CurveDefect, Point};
 pub use mapper::{map_network, MapObjective, MapOptions, MappedNetwork, PowerMethod};
 pub use pattern::PatternSet;
 pub use subject::{MapError, Signal, SubjectAig};

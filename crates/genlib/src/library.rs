@@ -104,6 +104,28 @@ impl Gate {
         self.inputs.len() == 1 && self.eval(&[true]) && !self.eval(&[false])
     }
 
+    /// Build a gate with **no** validation (pin/input arity may mismatch,
+    /// electrical values may be negative). Exists solely so lint mutation
+    /// tests can construct invalid gates; never call it otherwise.
+    #[doc(hidden)]
+    pub fn raw_for_test(
+        name: String,
+        area: f64,
+        output: String,
+        inputs: Vec<String>,
+        function: Expr,
+        pins: Vec<Pin>,
+    ) -> Gate {
+        Gate {
+            name,
+            area,
+            output,
+            inputs,
+            function,
+            pins,
+        }
+    }
+
     /// Worst-case pin-to-output delay for a given output load.
     pub fn worst_delay(&self, load: f64) -> f64 {
         self.pins
@@ -122,6 +144,13 @@ pub struct Library {
 
 impl Library {
     pub(crate) fn from_gates(name: String, gates: Vec<Gate>) -> Library {
+        Library { name, gates }
+    }
+
+    /// Build a library from raw gates with no validation; companion of
+    /// [`Gate::raw_for_test`], test-only.
+    #[doc(hidden)]
+    pub fn from_gates_for_test(name: String, gates: Vec<Gate>) -> Library {
         Library { name, gates }
     }
 

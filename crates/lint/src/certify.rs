@@ -1,0 +1,160 @@
+//! Debug-build pass certifier.
+//!
+//! [`certified_pass`] wraps a network transformation with a lint run
+//! before and after. In debug builds (tests, development) a pass that
+//! *introduces* an `Error`-severity finding panics at its source with the
+//! rendered report — instead of corrupting state that only fails three
+//! stages later in the mapper. In release builds the wrappers compile to
+//! plain calls with zero overhead.
+//!
+//! Drop-in wrappers are provided for every `logicopt` pass and for
+//! network decomposition; `flow` routes through them.
+
+use crate::{lint_decomposed, lint_network, LintConfig};
+use lowpower_core::decomp::{DecompOptions, DecomposedNetwork};
+use netlist::Network;
+
+/// Run `pass` over `net`, linting before and after in debug builds.
+///
+/// # Panics
+/// In debug builds: panics if the input network already carries
+/// `Error`-severity findings (the caller handed the pass a corrupt
+/// network) or if the pass introduces any (the pass is buggy). Release
+/// builds never lint and never panic.
+pub fn certified_pass<R>(
+    label: &str,
+    net: &mut Network,
+    pass: impl FnOnce(&mut Network) -> R,
+) -> R {
+    #[cfg(debug_assertions)]
+    {
+        let before = lint_network(net, &LintConfig::new());
+        assert!(
+            !before.has_errors(),
+            "lint: input to pass `{label}` already violates invariants\n{}",
+            before.render_text()
+        );
+    }
+    let result = pass(net);
+    #[cfg(debug_assertions)]
+    {
+        let after = lint_network(net, &LintConfig::new());
+        assert!(
+            !after.has_errors(),
+            "lint: pass `{label}` introduced invariant violations\n{}",
+            after.render_text()
+        );
+    }
+    let _ = label;
+    result
+}
+
+/// Certified [`logicopt::sweep`].
+pub fn sweep(net: &mut Network) -> logicopt::sweep::SweepReport {
+    certified_pass("sweep", net, logicopt::sweep::sweep)
+}
+
+/// Certified [`logicopt::simplify_network`].
+pub fn simplify_network(net: &mut Network) -> logicopt::simplify::SimplifyReport {
+    certified_pass("simplify", net, logicopt::simplify::simplify_network)
+}
+
+/// Certified [`logicopt::eliminate::eliminate`].
+pub fn eliminate(net: &mut Network, threshold: i64) -> logicopt::eliminate::EliminateReport {
+    certified_pass("eliminate", net, |n| {
+        logicopt::eliminate::eliminate(n, threshold)
+    })
+}
+
+/// Certified [`logicopt::extract`].
+pub fn extract(net: &mut Network, max_rounds: usize) -> logicopt::ExtractReport {
+    certified_pass("extract", net, |n| logicopt::extract(n, max_rounds))
+}
+
+/// Certified [`logicopt::rugged_like`] (the whole script as one unit; the
+/// constituent passes re-lint individually when called through the
+/// wrappers above).
+pub fn rugged_like(net: &mut Network) -> logicopt::ScriptReport {
+    certified_pass("rugged_like", net, logicopt::rugged_like)
+}
+
+/// Certified [`lowpower_core::decomp::decompose_network`]: in debug
+/// builds the input network is linted first and the full decomposition
+/// result (network rules plus `DEC*` rules) afterwards.
+///
+/// # Panics
+/// In debug builds, panics when either side carries `Error`-severity
+/// findings; see [`certified_pass`].
+pub fn decompose_network(net: &Network, opts: &DecompOptions) -> DecomposedNetwork {
+    #[cfg(debug_assertions)]
+    {
+        let before = lint_network(net, &LintConfig::new());
+        assert!(
+            !before.has_errors(),
+            "lint: input to decomposition already violates invariants\n{}",
+            before.render_text()
+        );
+    }
+    let decomposed = lowpower_core::decomp::decompose_network(net, opts);
+    #[cfg(debug_assertions)]
+    {
+        let after = lint_decomposed(&decomposed, &LintConfig::new());
+        assert!(
+            !after.has_errors(),
+            "lint: decomposition ({:?}) introduced invariant violations\n{}",
+            opts.style,
+            after.render_text()
+        );
+    }
+    decomposed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{parse_blif, Sop};
+
+    fn net() -> Network {
+        parse_blif(
+            ".model t\n.inputs a b c\n.outputs f\n.names a b x\n11 1\n\
+             .names x c f\n10 1\n01 1\n.end\n",
+        )
+        .unwrap()
+        .network
+    }
+
+    #[test]
+    fn certified_passes_run_clean() {
+        let mut n = net();
+        rugged_like(&mut n);
+        let mut n = net();
+        sweep(&mut n);
+        simplify_network(&mut n);
+        eliminate(&mut n, -1);
+        extract(&mut n, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "introduced invariant violations")]
+    fn certifier_catches_a_corrupting_pass() {
+        let mut n = net();
+        certified_pass("evil", &mut n, |n| {
+            let x = n.find("x").unwrap();
+            let a = n.find("a").unwrap();
+            // Raw overwrite: duplicate fanin + broken fanout symmetry.
+            n.corrupt_function_for_test(x, vec![a, a], Sop::parse(2, &["11"]).unwrap());
+        });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "already violates invariants")]
+    fn certifier_rejects_corrupt_input() {
+        let mut n = net();
+        let x = n.find("x").unwrap();
+        let a = n.find("a").unwrap();
+        n.corrupt_function_for_test(x, vec![a, a], Sop::parse(2, &["11"]).unwrap());
+        certified_pass("any", &mut n, |_| ());
+    }
+}

@@ -91,8 +91,9 @@ pub enum NetworkError {
         width: usize,
         fanins: usize,
     },
-    /// The network contains a combinational cycle through the named node.
-    Cycle(String),
+    /// The network contains a combinational cycle; the payload is the
+    /// cycle path in fanin order, closed (first name repeated at the end).
+    Cycle(Vec<String>),
 }
 
 impl fmt::Display for NetworkError {
@@ -107,7 +108,12 @@ impl fmt::Display for NetworkError {
             } => {
                 write!(f, "node `{node}` has SOP width {width} but {fanins} fanins")
             }
-            NetworkError::Cycle(n) => write!(f, "combinational cycle through node `{n}`"),
+            NetworkError::Cycle(path) if path.is_empty() => {
+                write!(f, "combinational cycle detected")
+            }
+            NetworkError::Cycle(path) => {
+                write!(f, "combinational cycle: {}", path.join(" -> "))
+            }
         }
     }
 }
@@ -232,6 +238,13 @@ impl Network {
 
     /// Add a logic node with the given fanins and SOP.
     ///
+    /// Duplicate fanin entries are canonically merged: the fanin list is
+    /// deduplicated and the SOP is remapped onto the unique positions, with
+    /// opposite-phase literals intersecting to contradictions (the cube is
+    /// dropped — it covered nothing). A network therefore never stores the
+    /// same fanin at two SOP positions, the construction hole behind the
+    /// `Cube::remap` duplicate-pin bug.
+    ///
     /// # Errors
     /// Returns an error on duplicate name or SOP/fanin width mismatch.
     pub fn add_logic(
@@ -248,6 +261,7 @@ impl Network {
                 fanins: fanins.len(),
             });
         }
+        let (fanins, sop) = canonicalize_function(fanins, sop);
         let id = self.insert_node(name, NodeFunc::Logic(sop), fanins.clone())?;
         for f in fanins {
             self.add_fanout(f, id);
@@ -332,6 +346,9 @@ impl Network {
 
     /// Replace the local function (and fanins) of a logic node.
     ///
+    /// Duplicate fanin entries are canonically merged exactly as in
+    /// [`Network::add_logic`].
+    ///
     /// # Panics
     /// Panics if the node is a primary input or if the SOP width does not
     /// match the new fanin count.
@@ -345,6 +362,7 @@ impl Network {
             fanins.len(),
             "SOP width must equal fanin count"
         );
+        let (fanins, sop) = canonicalize_function(fanins, sop);
         let old = std::mem::take(&mut self.nodes[id.index()].fanins);
         self.nodes[id.index()].func = NodeFunc::Logic(sop);
         self.nodes[id.index()].fanins = fanins.clone();
@@ -470,10 +488,70 @@ impl Network {
         }
     }
 
+    /// Access a node, returning `None` for out-of-range ids and removed
+    /// nodes instead of panicking. Useful for diagnostics over networks
+    /// whose internal links may be corrupted.
+    pub fn try_node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index()).filter(|n| n.alive)
+    }
+
+    /// Find a combinational cycle, if one exists. The returned path follows
+    /// fanin edges and is closed: the first node is repeated at the end.
+    ///
+    /// Unlike [`Network::topo_order`], this walks fanin links only, so it
+    /// reports cycles even when fanout bookkeeping is inconsistent.
+    pub fn find_cycle(&self) -> Option<Vec<NodeId>> {
+        // Iterative 3-color DFS: 0 = white, 1 = gray (on stack), 2 = black.
+        let mut color = vec![0u8; self.nodes.len()];
+        for start in self.node_ids() {
+            if color[start.index()] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+            color[start.index()] = 1;
+            while let Some(&(id, next)) = stack.last() {
+                let fanins = &self.nodes[id.index()].fanins;
+                if next < fanins.len() {
+                    stack.last_mut().expect("nonempty").1 += 1;
+                    let f = fanins[next];
+                    match self.nodes.get(f.index()) {
+                        Some(n) if n.alive => {}
+                        _ => continue, // dangling ref: not a cycle concern here
+                    }
+                    match color[f.index()] {
+                        0 => {
+                            color[f.index()] = 1;
+                            stack.push((f, 0));
+                        }
+                        1 => {
+                            let pos = stack
+                                .iter()
+                                .position(|&(x, _)| x == f)
+                                .expect("gray node is on the stack");
+                            let mut cycle: Vec<NodeId> =
+                                stack[pos..].iter().map(|&(x, _)| x).collect();
+                            // The stack runs consumer -> fanin; reverse so the
+                            // path follows fanin -> consumer order.
+                            cycle.reverse();
+                            cycle.push(*cycle.first().expect("nonempty cycle"));
+                            return Some(cycle);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[id.index()] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
     /// Topological order over live nodes (inputs first). Fails on cycles.
     ///
     /// # Errors
-    /// Returns [`NetworkError::Cycle`] naming a node on a combinational cycle.
+    /// Returns [`NetworkError::Cycle`] with the full cycle path (node names
+    /// in fanin order, closed) when the network is cyclic.
     pub fn topo_order(&self) -> Result<Vec<NodeId>, NetworkError> {
         let n = self.nodes.len();
         let mut indeg = vec![0usize; n];
@@ -504,12 +582,16 @@ impl Network {
             }
         }
         if order.len() != self.node_count() {
-            let stuck = self
-                .node_ids()
-                .find(|id| indeg[id.index()] > 0)
-                .map(|id| self.node(id).name().to_string())
+            let path = self
+                .find_cycle()
+                .map(|cycle| {
+                    cycle
+                        .iter()
+                        .map(|&id| self.nodes[id.index()].name.clone())
+                        .collect()
+                })
                 .unwrap_or_default();
-            return Err(NetworkError::Cycle(stuck));
+            return Err(NetworkError::Cycle(path));
         }
         Ok(order)
     }
@@ -674,6 +756,54 @@ impl Network {
         }
         self.topo_order().map(|_| ())
     }
+
+    /// Overwrite a logic node's fanins and SOP with **no** bookkeeping:
+    /// no width check, no duplicate-pin canonicalization, no fanout-edge
+    /// maintenance. Exists solely so tests (lint mutation tests in
+    /// particular) can construct invalid networks that the safe API
+    /// rejects. Never call this outside test code.
+    #[doc(hidden)]
+    pub fn corrupt_function_for_test(&mut self, id: NodeId, fanins: Vec<NodeId>, sop: Sop) {
+        let node = &mut self.nodes[id.index()];
+        node.func = NodeFunc::Logic(sop);
+        node.fanins = fanins;
+    }
+
+    /// Overwrite a node's fanout list with no symmetry maintenance.
+    /// Companion of [`Network::corrupt_function_for_test`]; test-only.
+    #[doc(hidden)]
+    pub fn corrupt_fanouts_for_test(&mut self, id: NodeId, fanouts: Vec<NodeId>) {
+        self.nodes[id.index()].fanouts = fanouts;
+    }
+}
+
+/// Canonicalize a (fanins, SOP) pair: deduplicate the fanin list and remap
+/// the cover onto the unique positions. Merged positions intersect their
+/// literals per [`Cube::remap`](crate::Cube::remap) — opposite phases make
+/// the cube contradictory and it is dropped. The resulting cover is made
+/// single-cube-containment minimal so merged duplicates don't linger.
+fn canonicalize_function(fanins: Vec<NodeId>, sop: Sop) -> (Vec<NodeId>, Sop) {
+    let mut unique: Vec<NodeId> = Vec::with_capacity(fanins.len());
+    let mut perm: Vec<usize> = Vec::with_capacity(fanins.len());
+    let mut has_dup = false;
+    for f in &fanins {
+        match unique.iter().position(|g| g == f) {
+            Some(p) => {
+                perm.push(p);
+                has_dup = true;
+            }
+            None => {
+                perm.push(unique.len());
+                unique.push(*f);
+            }
+        }
+    }
+    if !has_dup {
+        return (fanins, sop);
+    }
+    let mut s = sop.remap(&perm, unique.len());
+    s.make_scc_minimal();
+    (unique, s)
 }
 
 impl fmt::Debug for Network {
@@ -856,5 +986,97 @@ mod tests {
         let f2 = net.fresh_name("n");
         assert_ne!(f1, "n0");
         assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn add_logic_merges_duplicate_fanins() {
+        // f(a, a) with cover "11" is just a buffer of a.
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let f = net
+            .add_logic("f", vec![a, a], Sop::parse(2, &["11"]).unwrap())
+            .unwrap();
+        net.add_output("f", f);
+        net.check().unwrap();
+        assert_eq!(net.node(f).fanins(), &[a]);
+        assert_eq!(net.node(f).sop().unwrap().width(), 1);
+        assert_eq!(net.eval_outputs(&[true]), vec![true]);
+        assert_eq!(net.eval_outputs(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn add_logic_drops_contradictory_merged_cube() {
+        // f(a, a) with cover "10" is a·!a = 0: the cube must vanish.
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let f = net
+            .add_logic("f", vec![a, a], Sop::parse(2, &["10"]).unwrap())
+            .unwrap();
+        net.add_output("f", f);
+        net.check().unwrap();
+        assert_eq!(net.node(f).fanins(), &[a]);
+        assert!(net.node(f).sop().unwrap().is_zero());
+        assert_eq!(net.eval_outputs(&[true]), vec![false]);
+        assert_eq!(net.eval_outputs(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn replace_function_merges_duplicate_fanins() {
+        let (mut net, a, _b, _c, g, _f) = and_or_net();
+        // g(a, a) = a | a — canonicalizes to a width-1 buffer.
+        net.replace_function(g, vec![a, a], Sop::parse(2, &["1-", "-1"]).unwrap());
+        net.check().unwrap();
+        assert_eq!(net.node(g).fanins(), &[a]);
+        assert_eq!(net.node(g).sop().unwrap().width(), 1);
+        assert_eq!(net.eval_outputs(&[true, false, false]), vec![true]);
+        assert_eq!(net.eval_outputs(&[false, false, false]), vec![false]);
+    }
+
+    #[test]
+    fn cycle_error_names_full_path() {
+        // Build x -> y -> x via the raw test mutator (the safe API cannot
+        // create cycles since fanins must already exist).
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let x = net
+            .add_logic("x", vec![a], Sop::parse(1, &["1"]).unwrap())
+            .unwrap();
+        let y = net
+            .add_logic("y", vec![x], Sop::parse(1, &["1"]).unwrap())
+            .unwrap();
+        net.add_output("y", y);
+        net.corrupt_function_for_test(x, vec![y], Sop::parse(1, &["1"]).unwrap());
+        // Keep fanout links symmetric so only the cycle is wrong.
+        net.corrupt_fanouts_for_test(a, vec![]);
+        net.corrupt_fanouts_for_test(y, vec![x]);
+        let err = net.topo_order().unwrap_err();
+        match &err {
+            NetworkError::Cycle(path) => {
+                assert_eq!(path.len(), 3, "closed 2-cycle path: {path:?}");
+                assert_eq!(path.first(), path.last());
+                assert!(path.contains(&"x".to_string()));
+                assert!(path.contains(&"y".to_string()));
+            }
+            other => panic!("expected Cycle, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("->"), "message shows the path: {msg}");
+        // find_cycle follows fanin edges consumer-by-consumer.
+        let cycle = net.find_cycle().unwrap();
+        assert_eq!(cycle.first(), cycle.last());
+        assert_eq!(cycle.len(), 3);
+    }
+
+    #[test]
+    fn try_node_handles_dead_and_out_of_range() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let x = net
+            .add_logic("x", vec![a], Sop::parse(1, &["1"]).unwrap())
+            .unwrap();
+        assert!(net.try_node(x).is_some());
+        net.remove_node(x);
+        assert!(net.try_node(x).is_none());
+        assert!(net.try_node(NodeId(999)).is_none());
     }
 }

@@ -11,7 +11,9 @@
 
 use activity::{analyze, PowerEnv, TransitionModel};
 use genlib::Library;
-use lowpower_core::decomp::{decompose_network, DecompOptions, DecompStyle};
+use lint::{lint_activity, lint_decomposed, lint_library, lint_mapped, lint_network};
+use lint::{LintConfig, LintLevel, LintReport};
+use lowpower_core::decomp::{DecompOptions, DecompStyle};
 use lowpower_core::map::{map_network, MapObjective, MapOptions, SubjectAig};
 use lowpower_core::power::{evaluate, MappedReport};
 use netlist::Network;
@@ -107,6 +109,12 @@ pub struct FlowConfig {
     /// (optimize, decompose, map) is checked against its input at this
     /// level. [`VerifyLevel::Off`] skips the checks entirely.
     pub verify: VerifyLevel,
+    /// Structural lint checkpoints at every stage (library, optimize,
+    /// decompose, activity, map), mirroring `verify`. At
+    /// [`LintLevel::Check`] findings accumulate in
+    /// [`MethodResult::lint_findings`]; at [`LintLevel::Deny`] any
+    /// `Error`-severity finding aborts the flow with [`FlowError::Lint`].
+    pub lint: LintLevel,
 }
 
 impl Default for FlowConfig {
@@ -122,6 +130,7 @@ impl Default for FlowConfig {
             sim_vectors: 600,
             sim_seed: 0xC0FFEE,
             verify: VerifyLevel::Off,
+            lint: LintLevel::Off,
         }
     }
 }
@@ -147,6 +156,15 @@ pub enum FlowError {
         /// The structural problem.
         error: verify::VerifyError,
     },
+    /// A lint checkpoint found `Error`-severity findings while
+    /// [`FlowConfig::lint`] is [`LintLevel::Deny`].
+    Lint {
+        /// Stage whose result failed the lint (`"library"`, `"optimize"`,
+        /// `"decompose"`, `"activity"`, `"map"`).
+        stage: &'static str,
+        /// The full report, including any non-error findings.
+        report: Box<LintReport>,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -161,6 +179,14 @@ impl fmt::Display for FlowError {
             }
             FlowError::VerifySetup { stage, error } => {
                 write!(f, "{stage} verification impossible: {error}")
+            }
+            FlowError::Lint { stage, report } => {
+                write!(
+                    f,
+                    "{stage} failed lint with {} error(s):\n{}",
+                    report.error_count(),
+                    report.render_text()
+                )
             }
         }
     }
@@ -194,11 +220,45 @@ fn checkpoint(
     }
 }
 
+/// Lint findings of one flow stage.
+#[derive(Debug, Clone)]
+pub struct StageLint {
+    /// Stage the report belongs to (`"library"`, `"optimize"`,
+    /// `"decompose"`, `"activity"`, `"map"`).
+    pub stage: &'static str,
+    /// The findings.
+    pub report: LintReport,
+}
+
+/// Run one lint checkpoint: at [`LintLevel::Deny`], `Error`-severity
+/// findings abort the flow; otherwise non-empty reports accumulate in
+/// `findings`. The caller guards on `cfg.lint != Off` so reports are never
+/// computed when linting is disabled.
+fn lint_checkpoint(
+    stage: &'static str,
+    report: LintReport,
+    cfg: &FlowConfig,
+    findings: &mut Vec<StageLint>,
+) -> Result<(), FlowError> {
+    if cfg.lint == LintLevel::Deny && report.has_errors() {
+        return Err(FlowError::Lint {
+            stage,
+            report: Box::new(report),
+        });
+    }
+    if !report.is_clean() {
+        findings.push(StageLint { stage, report });
+    }
+    Ok(())
+}
+
 /// Optimize a network with the rugged-like script (shared starting point of
-/// all methods, as in the paper's Section 4).
+/// all methods, as in the paper's Section 4). In debug builds the script
+/// runs under the lint certifier and panics if it corrupts a structural
+/// invariant.
 pub fn optimize(net: &Network) -> Network {
     let mut n = net.clone();
-    logicopt::rugged_like(&mut n);
+    lint::certify::rugged_like(&mut n);
     n
 }
 
@@ -280,6 +340,11 @@ pub struct MethodResult {
     pub decomp_switching: f64,
     /// The mapped netlist.
     pub mapped: lowpower_core::map::MappedNetwork,
+    /// Lint findings per stage, when [`FlowConfig::lint`] is not
+    /// [`LintLevel::Off`]. Stages with no findings are omitted; with
+    /// [`LintLevel::Deny`] this can only hold `Warn`/`Info` findings
+    /// (errors abort the flow instead).
+    pub lint_findings: Vec<StageLint>,
 }
 
 /// Run one method on an **already optimized** network.
@@ -297,6 +362,16 @@ pub fn run_method(
         .pi_probs
         .clone()
         .unwrap_or_else(|| vec![0.5; optimized.inputs().len()]);
+    let mut lint_findings = Vec::new();
+    let lint_cfg = LintConfig::new();
+    if cfg.lint != LintLevel::Off {
+        lint_checkpoint(
+            "library",
+            lint_library(lib, &lint_cfg),
+            cfg,
+            &mut lint_findings,
+        )?;
+    }
     let dopts = DecompOptions {
         style: method.decomp_style(),
         model: cfg.model,
@@ -304,7 +379,7 @@ pub fn run_method(
         required_time: None,
         use_correlations: cfg.use_correlations,
     };
-    let decomposed = decompose_network(optimized, &dopts);
+    let decomposed = lint::certify::decompose_network(optimized, &dopts);
     checkpoint(
         "decompose",
         optimized,
@@ -312,8 +387,24 @@ pub fn run_method(
         OutputPolicy::Exact,
         cfg,
     )?;
+    if cfg.lint != LintLevel::Off {
+        lint_checkpoint(
+            "decompose",
+            lint_decomposed(&decomposed, &lint_cfg),
+            cfg,
+            &mut lint_findings,
+        )?;
+    }
     let (mappable, _const_outputs) = strip_constant_outputs(&decomposed.network);
     let act = analyze(&mappable, &pi_probs, cfg.model);
+    if cfg.lint != LintLevel::Off {
+        lint_checkpoint(
+            "activity",
+            lint_activity(&mappable, &act, &lint_cfg),
+            cfg,
+            &mut lint_findings,
+        )?;
+    }
     let decomp_switching = act.total_switching(mappable.logic_ids());
     let aig = SubjectAig::from_network(&mappable, &act)?;
     let mopts = MapOptions {
@@ -329,6 +420,14 @@ pub fn run_method(
     if cfg.verify != VerifyLevel::Off {
         let view = mapped.to_network(lib, mappable.name());
         checkpoint("map", &mappable, &view, OutputPolicy::Exact, cfg)?;
+    }
+    if cfg.lint != LintLevel::Off {
+        lint_checkpoint(
+            "map",
+            lint_mapped(&mapped, lib, cfg.po_load, &lint_cfg),
+            cfg,
+            &mut lint_findings,
+        )?;
     }
     let report = evaluate(&mapped, lib, &cfg.env, cfg.model, cfg.po_load);
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.sim_seed);
@@ -347,6 +446,7 @@ pub fn run_method(
         decomp_depth: decomposed.depth,
         decomp_switching,
         mapped,
+        lint_findings,
     })
 }
 
@@ -362,5 +462,17 @@ pub fn run_flow(
 ) -> Result<MethodResult, FlowError> {
     let optimized = optimize(net);
     checkpoint("optimize", net, &optimized, OutputPolicy::Exact, cfg)?;
-    run_method(&optimized, lib, method, cfg)
+    let mut pre_findings = Vec::new();
+    if cfg.lint != LintLevel::Off {
+        lint_checkpoint(
+            "optimize",
+            lint_network(&optimized, &LintConfig::new()),
+            cfg,
+            &mut pre_findings,
+        )?;
+    }
+    let mut result = run_method(&optimized, lib, method, cfg)?;
+    pre_findings.append(&mut result.lint_findings);
+    result.lint_findings = pre_findings;
+    Ok(result)
 }

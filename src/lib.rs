@@ -9,6 +9,7 @@ pub use activity;
 pub use bdd;
 pub use benchgen;
 pub use genlib;
+pub use lint;
 pub use logicopt;
 pub use lowpower_core as core;
 pub use netlist;

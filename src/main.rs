@@ -3,9 +3,12 @@
 //! ```text
 //! lowpower synth  --blif CIRCUIT.blif [--lib LIB.genlib] [--method VI]
 //!                 [--required NS] [--out MAPPED.blif] [--correlations]
-//!                 [--verify[=sim|full]]
+//!                 [--verify[=sim|full]] [--lint[=check|deny|off]]
 //! lowpower report --blif CIRCUIT.blif [--lib LIB.genlib] [--verify[=sim|full]]
+//!                 [--lint[=check|deny|off]]
 //! lowpower decomp --blif CIRCUIT.blif [--style minpower|conventional|bounded]
+//! lowpower lint   --blif CIRCUIT.blif [--lib LIB.genlib] [--method VI]
+//!                 [--style …] [--lint=deny] [--json]
 //! ```
 //!
 //! `synth` runs optimize → decompose → map → evaluate for one method and
@@ -19,9 +22,18 @@
 //! equivalence with BDDs (falling back to simulation over a node budget),
 //! `--verify=sim` uses bit-parallel random simulation only. A failing
 //! checkpoint aborts with a minimized counterexample.
+//!
+//! `--lint` adds structural rule checkpoints at every stage (library,
+//! optimize, decompose, activity annotations, mapped netlist); findings
+//! print to stderr. `--lint=deny` turns any `Error`-severity finding into
+//! a flow failure. The `lint` subcommand runs the same pipeline purely for
+//! its diagnostics — it lints the raw input, the library, and every stage
+//! result, prints all findings (`--json` for machine-readable output), and
+//! with `--lint=deny` exits non-zero when errors were found.
 
 use genlib::{builtin::lib2_like, Library};
-use lowpower::flow::{optimize, run_method, FlowConfig, Method};
+use lowpower::flow::{optimize, run_method, FlowConfig, Method, StageLint};
+use lowpower::lint::LintLevel;
 use lowpower::verify::VerifyLevel;
 use std::process::ExitCode;
 
@@ -33,9 +45,10 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  lowpower synth  --blif FILE [--lib FILE] [--method I..VI] [--required NS] [--out FILE] [--correlations] [--verify[=sim|full]]");
-            eprintln!("  lowpower report --blif FILE [--lib FILE] [--verify[=sim|full]]");
+            eprintln!("  lowpower synth  --blif FILE [--lib FILE] [--method I..VI] [--required NS] [--out FILE] [--correlations] [--verify[=sim|full]] [--lint[=check|deny|off]]");
+            eprintln!("  lowpower report --blif FILE [--lib FILE] [--verify[=sim|full]] [--lint[=check|deny|off]]");
             eprintln!("  lowpower decomp --blif FILE [--style conventional|minpower|bounded]");
+            eprintln!("  lowpower lint   --blif FILE [--lib FILE] [--method I..VI] [--style ...] [--lint=deny] [--json]");
             ExitCode::from(2)
         }
     }
@@ -50,6 +63,8 @@ struct Opts {
     style: String,
     correlations: bool,
     verify: VerifyLevel,
+    lint: LintLevel,
+    json: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -62,6 +77,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         style: "minpower".to_string(),
         correlations: false,
         verify: VerifyLevel::Off,
+        lint: LintLevel::Off,
+        json: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -108,9 +125,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--correlations" => o.correlations = true,
             "--verify" => o.verify = VerifyLevel::Full,
-            other => match other.strip_prefix("--verify=") {
-                Some(level) => o.verify = level.parse()?,
-                None => return Err(format!("unknown option `{other}`")),
+            "--lint" => o.lint = LintLevel::Check,
+            "--json" => o.json = true,
+            other => match (
+                other.strip_prefix("--verify="),
+                other.strip_prefix("--lint="),
+            ) {
+                (Some(level), _) => o.verify = level.parse()?,
+                (_, Some(level)) => o.lint = level.parse()?,
+                _ => return Err(format!("unknown option `{other}`")),
             },
         }
         i += 1;
@@ -143,7 +166,24 @@ fn run(args: &[String]) -> Result<(), String> {
         "synth" => synth(&o),
         "report" => report(&o),
         "decomp" => decomp(&o),
+        "lint" => lint_cmd(&o),
         other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Print accumulated per-stage lint findings to stderr (text) or stdout
+/// (JSON).
+fn print_findings(findings: &[StageLint], json: bool) {
+    for f in findings {
+        if json {
+            println!(
+                "{{\"stage\":\"{}\",\"report\":{}}}",
+                f.stage,
+                f.report.render_json()
+            );
+        } else {
+            eprintln!("[lint:{}] {}", f.stage, f.report.render_text().trim_end());
+        }
     }
 }
 
@@ -169,11 +209,13 @@ fn synth(o: &Opts) -> Result<(), String> {
         required_time: o.required,
         use_correlations: o.correlations,
         verify: o.verify,
+        lint: o.lint,
         ..FlowConfig::default()
     };
     let optimized = optimize(&net);
     check_optimize(&net, &optimized, o.verify)?;
     let r = run_method(&optimized, &lib, o.method, &cfg).map_err(|e| e.to_string())?;
+    print_findings(&r.lint_findings, false);
     println!(
         "circuit   : {} ({} PIs, {} POs)",
         net.name(),
@@ -212,6 +254,7 @@ fn report(o: &Opts) -> Result<(), String> {
         required_time: Some(o.required.unwrap_or(probe.mapped.estimated_fastest * 1.10)),
         use_correlations: o.correlations,
         verify: o.verify,
+        lint: o.lint,
         ..FlowConfig::default()
     };
     println!(
@@ -220,6 +263,7 @@ fn report(o: &Opts) -> Result<(), String> {
     );
     for m in Method::ALL {
         let r = run_method(&optimized, &lib, m, &cfg).map_err(|e| e.to_string())?;
+        print_findings(&r.lint_findings, false);
         println!(
             "{:<7} {:>8.1} {:>9.2} {:>12.1} {:>12.1}",
             m.to_string(),
@@ -266,5 +310,73 @@ fn decomp(o: &Opts) -> Result<(), String> {
         println!("height bounds applied to {} nodes", d.applied_bounds.len());
     }
     println!("{}", netlist::write_blif(&d.network));
+    Ok(())
+}
+
+/// The `lint` subcommand: run the whole pipeline purely for diagnostics.
+///
+/// Lints the raw input network, the library, the optimized network, the
+/// decomposition (per `--style` via `--method`'s decomposition when
+/// given), the activity annotations, and the mapped netlist. Findings are
+/// printed as text (default) or JSON (`--json`). Exit is non-zero when
+/// `--lint=deny` (the default for this subcommand is `check`) and an
+/// `Error`-severity finding exists.
+fn lint_cmd(o: &Opts) -> Result<(), String> {
+    use lowpower::lint::{
+        lint_activity, lint_decomposed, lint_library, lint_mapped, lint_network, LintConfig,
+    };
+    let (net, lib) = load_inputs(o)?;
+    let lint_cfg = LintConfig::new();
+    let mut findings: Vec<StageLint> = Vec::new();
+    let mut stages = 0usize;
+    let mut keep = |stage: &'static str, report: lowpower::lint::LintReport| {
+        stages += 1;
+        if !report.is_clean() {
+            findings.push(StageLint { stage, report });
+        }
+    };
+
+    keep("input", lint_network(&net, &lint_cfg));
+    keep("library", lint_library(&lib, &lint_cfg));
+
+    let optimized = optimize(&net);
+    keep("optimize", lint_network(&optimized, &lint_cfg));
+
+    let dopts = lowpower::core::decomp::DecompOptions {
+        use_correlations: o.correlations,
+        ..lowpower::core::decomp::DecompOptions::new(o.method.decomp_style())
+    };
+    let decomposed = lowpower::core::decomp::decompose_network(&optimized, &dopts);
+    keep("decompose", lint_decomposed(&decomposed, &lint_cfg));
+
+    let (mappable, _) = lowpower::flow::strip_constant_outputs(&decomposed.network);
+    let probs = vec![0.5; mappable.inputs().len()];
+    let act = lowpower::activity::analyze(
+        &mappable,
+        &probs,
+        lowpower::activity::TransitionModel::StaticCmos,
+    );
+    keep("activity", lint_activity(&mappable, &act, &lint_cfg));
+
+    let cfg = FlowConfig::default();
+    let aig = lowpower::core::map::SubjectAig::from_network(&mappable, &act)
+        .map_err(|e| format!("building subject graph: {e}"))?;
+    let mopts = lowpower::core::map::MapOptions {
+        objective: o.method.map_objective(),
+        ..lowpower::core::map::MapOptions::power()
+    };
+    let mapped = lowpower::core::map::map_network(&aig, &lib, &mopts)
+        .map_err(|e| format!("mapping: {e}"))?;
+    keep("map", lint_mapped(&mapped, &lib, cfg.po_load, &lint_cfg));
+
+    print_findings(&findings, o.json);
+    let errors: usize = findings.iter().map(|f| f.report.error_count()).sum();
+    let warnings: usize = findings.iter().map(|f| f.report.warn_count()).sum();
+    if !o.json {
+        println!("lint: {stages} stage(s) checked, {errors} error(s), {warnings} warning(s)");
+    }
+    if o.lint == LintLevel::Deny && errors > 0 {
+        return Err(format!("lint found {errors} error-severity finding(s)"));
+    }
     Ok(())
 }

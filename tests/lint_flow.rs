@@ -1,0 +1,80 @@
+//! Flow-level lint gate: every method of the paper's experiment, on every
+//! circuit of the benchmark suite, must come through the flow's lint
+//! checkpoints with zero Error-severity findings at [`LintLevel::Deny`].
+//! (Deny turns any Error finding into a hard `FlowError::Lint`, so merely
+//! completing `run_method` proves the gate; we additionally assert that the
+//! surviving warn-level findings really carry no errors.)
+
+use genlib::builtin::lib2_like;
+use lowpower::flow::{optimize, run_method, FlowConfig, Method};
+use lowpower::lint::{lint_network, LintConfig, LintLevel};
+
+fn lint_all_methods(net: &netlist::Network) {
+    let lib = lib2_like();
+    let cfg = FlowConfig {
+        sim_vectors: 20,
+        lint: LintLevel::Deny,
+        ..FlowConfig::default()
+    };
+    let lint_cfg = LintConfig::new();
+    let raw = lint_network(net, &lint_cfg);
+    assert!(
+        !raw.has_errors(),
+        "{}: parsed network fails lint:\n{}",
+        net.name(),
+        raw.render_text()
+    );
+    let optimized = optimize(net);
+    let opt = lint_network(&optimized, &lint_cfg);
+    assert!(
+        !opt.has_errors(),
+        "{}: optimized network fails lint:\n{}",
+        net.name(),
+        opt.render_text()
+    );
+    for m in Method::ALL {
+        let r = run_method(&optimized, &lib, m, &cfg)
+            .unwrap_or_else(|e| panic!("{} method {m}: {e}", net.name()));
+        for f in &r.lint_findings {
+            assert_eq!(
+                f.report.error_count(),
+                0,
+                "{} method {m} stage {}: errors slipped past deny:\n{}",
+                net.name(),
+                f.stage,
+                f.report.render_text()
+            );
+        }
+    }
+}
+
+macro_rules! suite_lint_clean {
+    ($($test:ident => $circuit:literal),+ $(,)?) => {
+        $(
+            #[test]
+            fn $test() {
+                lint_all_methods(&benchgen::suite_circuit($circuit));
+            }
+        )+
+    };
+}
+
+suite_lint_clean! {
+    s208_all_methods_lint_clean => "s208",
+    s344_all_methods_lint_clean => "s344",
+    s382_all_methods_lint_clean => "s382",
+    s444_all_methods_lint_clean => "s444",
+    s510_all_methods_lint_clean => "s510",
+    s526_all_methods_lint_clean => "s526",
+    s641_all_methods_lint_clean => "s641",
+    s713_all_methods_lint_clean => "s713",
+    s820_all_methods_lint_clean => "s820",
+    cm42a_all_methods_lint_clean => "cm42a",
+    x1_all_methods_lint_clean => "x1",
+    x2_all_methods_lint_clean => "x2",
+    x3_all_methods_lint_clean => "x3",
+    ttt2_all_methods_lint_clean => "ttt2",
+    apex7_all_methods_lint_clean => "apex7",
+    alu2_all_methods_lint_clean => "alu2",
+    ex2_all_methods_lint_clean => "ex2",
+}
