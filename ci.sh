@@ -19,6 +19,19 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> perf smoke (3 smallest circuits, serial vs 2 threads, divergence check)"
+TMP="${TMPDIR:-/tmp}"
+cargo run --release --quiet -p lowpower-bench --bin perf -- \
+    --circuits cm42a,x2,s208 --threads 2 --check --out "$TMP/bench_smoke.json" \
+    > /dev/null
+
+echo "==> tables23 determinism (--threads 1 vs 2 must be byte-identical)"
+cargo run --release --quiet -p lowpower-bench --bin tables23 -- \
+    --circuits cm42a,x2 --threads 1 > "$TMP/t23_serial.txt" 2> /dev/null
+cargo run --release --quiet -p lowpower-bench --bin tables23 -- \
+    --circuits cm42a,x2 --threads 2 > "$TMP/t23_par.txt" 2> /dev/null
+cmp "$TMP/t23_serial.txt" "$TMP/t23_par.txt"
+
 echo "==> lint gate (examples/blif, --lint=deny)"
 for f in examples/blif/*.blif; do
     echo "    lint $f"

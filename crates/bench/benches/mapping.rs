@@ -56,7 +56,6 @@ fn bench_mapping(c: &mut Criterion) {
 fn bench_glitch_simulation(c: &mut Criterion) {
     use activity::PowerEnv;
     use lowpower_core::power::simulate_glitch_power;
-    use rand::SeedableRng;
     let lib = lib2_like();
     let aig = prepared("s344");
     let mapped = map_network(&aig, &lib, &MapOptions::power()).expect("maps");
@@ -64,9 +63,8 @@ fn bench_glitch_simulation(c: &mut Criterion) {
     let env = PowerEnv::new();
     c.bench_function("glitch_sim_s344_100v", |b| {
         b.iter(|| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
             black_box(simulate_glitch_power(
-                &mapped, &lib, &env, &probs, 100, &mut rng, 1.0,
+                &mapped, &lib, &env, &probs, 100, 1, 1.0, 1,
             ))
         })
     });

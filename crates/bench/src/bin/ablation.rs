@@ -9,7 +9,12 @@
 //! 3. **ε-pruning** of the power-delay curves (§3.1): coarser ε trades
 //!    mapping quality for runtime.
 //!
-//! Usage: `cargo run --release -p lowpower-bench --bin ablation [circuits]`
+//! Usage:
+//!   `cargo run --release -p lowpower-bench --bin ablation [circuits] [--threads N]`
+//!
+//! Circuits are independent and fan out over the workers; each circuit's
+//! block is rendered to a buffer and printed in order, so everything but
+//! the per-variant wall times is identical at any thread count.
 
 use activity::analyze;
 use genlib::builtin::lib2_like;
@@ -17,7 +22,7 @@ use lowpower::flow::{optimize, run_method, FlowConfig, Method};
 use lowpower_core::decomp::{decompose_network, DecompOptions};
 use lowpower_core::map::{map_network, MapOptions, PowerMethod, SubjectAig};
 use lowpower_core::power::{evaluate, simulate_glitch_power};
-use rand::SeedableRng;
+use std::fmt::Write;
 use std::time::Instant;
 
 struct Variant {
@@ -62,66 +67,101 @@ const VARIANTS: &[Variant] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let circuits: Vec<&str> = if args.is_empty() {
-        vec!["x2", "s344", "s510", "alu2"]
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
+    let mut circuits: Vec<String> = Vec::new();
+    let mut threads: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                threads = Some(args[i].parse().expect("--threads takes a number"));
+            }
+            other => circuits.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if circuits.is_empty() {
+        circuits = ["x2", "s344", "s510", "alu2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    let threads = par::thread_count(threads);
     let lib = lib2_like();
 
-    for name in circuits {
-        let net = benchgen::suite_circuit(name);
-        let optimized = optimize(&net);
-        let cfg = FlowConfig::default();
-        let probe = run_method(&optimized, &lib, Method::I, &cfg).expect("probe");
-        let required = probe.mapped.estimated_fastest * 1.10;
-
-        let pi_probs = vec![0.5; optimized.inputs().len()];
-        let d = decompose_network(
-            &optimized,
-            &DecompOptions {
-                style: Method::V.decomp_style(),
-                model: cfg.model,
-                pi_probs: Some(pi_probs.clone()),
-                required_time: None,
-                use_correlations: false,
-            },
-        );
-        let (mappable, _) = lowpower::flow::strip_constant_outputs(&d.network);
-        let act = analyze(&mappable, &pi_probs, cfg.model);
-        let aig = SubjectAig::from_network(&mappable, &act).expect("subject");
-
-        println!("\n=== {name} (pd-map, minpower decomposition) ===");
-        println!(
-            "{:<40} {:>8} {:>8} {:>9} {:>9} {:>9}",
-            "variant", "area", "delay", "P0 µW", "Pg µW", "time"
-        );
-        for v in VARIANTS {
-            let opts = MapOptions {
-                power_method: v.power_method,
-                dag_fanout_division: v.fanout_division,
-                epsilon: v.epsilon,
-                required_time: Some(required),
-                ..MapOptions::power()
-            };
-            let t = Instant::now();
-            let mapped = map_network(&aig, &lib, &opts).expect("maps");
-            let elapsed = t.elapsed();
-            let rep = evaluate(&mapped, &lib, &cfg.env, cfg.model, cfg.po_load);
-            let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.sim_seed);
-            let g = simulate_glitch_power(
-                &mapped,
-                &lib,
-                &cfg.env,
-                &pi_probs,
-                cfg.sim_vectors,
-                &mut rng,
-                cfg.po_load,
-            );
-            println!(
-                "{:<40} {:>8.1} {:>8.2} {:>9.1} {:>9.1} {:>8.1?}",
-                v.label, rep.area, rep.delay, rep.power_uw, g.power_uw, elapsed
-            );
-        }
+    let blocks = par::scope_map(threads, &circuits, |_, name| run_circuit(name, &lib));
+    for block in blocks {
+        print!("{block}");
     }
+}
+
+fn run_circuit(name: &str, lib: &genlib::Library) -> String {
+    let net = benchgen::suite_circuit(name);
+    let optimized = optimize(&net);
+    let cfg = FlowConfig::default();
+    let probe = run_method(&optimized, lib, Method::I, &cfg).expect("probe");
+    let required = probe.mapped.estimated_fastest * 1.10;
+
+    let pi_probs = vec![0.5; optimized.inputs().len()];
+    let d = decompose_network(
+        &optimized,
+        &DecompOptions {
+            style: Method::V.decomp_style(),
+            model: cfg.model,
+            pi_probs: Some(pi_probs.clone()),
+            required_time: None,
+            use_correlations: false,
+        },
+    );
+    let (mappable, _) = lowpower::flow::strip_constant_outputs(&d.network);
+    let act = analyze(&mappable, &pi_probs, cfg.model);
+    let aig = SubjectAig::from_network(&mappable, &act).expect("subject");
+
+    let mut out = String::new();
+    writeln!(out, "\n=== {name} (pd-map, minpower decomposition) ===").unwrap();
+    writeln!(
+        out,
+        "{:<40} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "variant", "area", "delay", "P0 µW", "Pg µW", "time"
+    )
+    .unwrap();
+    for v in VARIANTS {
+        let opts = MapOptions {
+            power_method: v.power_method,
+            dag_fanout_division: v.fanout_division,
+            epsilon: v.epsilon,
+            required_time: Some(required),
+            ..MapOptions::power()
+        };
+        let t = Instant::now();
+        // Coarse ε can prune the very points that meet the timing target
+        // (s510 at ε = 0.5): report the variant as infeasible, that IS the
+        // ablation's finding.
+        let mapped = match map_network(&aig, lib, &opts) {
+            Ok(m) => m,
+            Err(e) => {
+                writeln!(out, "{:<40} infeasible at target: {e}", v.label).unwrap();
+                continue;
+            }
+        };
+        let elapsed = t.elapsed();
+        let rep = evaluate(&mapped, lib, &cfg.env, cfg.model, cfg.po_load);
+        let g = simulate_glitch_power(
+            &mapped,
+            lib,
+            &cfg.env,
+            &pi_probs,
+            cfg.sim_vectors,
+            cfg.sim_seed,
+            cfg.po_load,
+            cfg.sim_threads,
+        );
+        writeln!(
+            out,
+            "{:<40} {:>8.1} {:>8.2} {:>9.1} {:>9.1} {:>8.1?}",
+            v.label, rep.area, rep.delay, rep.power_uw, g.power_uw, elapsed
+        )
+        .unwrap();
+    }
+    out
 }

@@ -5,27 +5,44 @@
 //! Paper values: SR(A) = 2.146 (chain ((a·b)·c)·d), SR(B) = 2.412
 //! (balanced (a·b)·(c·d)). Huffman's optimum is better than both.
 //!
-//! Usage: `cargo run -p lowpower-bench --bin figure1`
+//! Usage: `cargo run -p lowpower-bench --bin figure1 [--threads N]`
+//!
+//! The three configurations are independent and run concurrently; the
+//! output is identical at any thread count.
 
 use activity::TransitionModel;
 use lowpower_core::decomp::{minpower_tree, DecompObjective, DecompTree, GateKind};
 
 fn main() {
+    let threads = std::env::args()
+        .skip(1)
+        .skip_while(|a| a != "--threads")
+        .nth(1)
+        .map(|a| a.parse().expect("--threads takes a number"));
+    let threads = par::thread_count(threads);
     let obj = DecompObjective::new(TransitionModel::DominoP, GateKind::And);
     let p = [0.3, 0.4, 0.7, 0.5];
 
-    // Configuration A: ((a·b)·c)·d
-    let ab = DecompTree::merge(DecompTree::leaf(0, p[0]), DecompTree::leaf(1, p[1]), obj);
-    let abc = DecompTree::merge(ab, DecompTree::leaf(2, p[2]), obj);
-    let a = DecompTree::merge(abc, DecompTree::leaf(3, p[3]), obj);
-
-    // Configuration B: (a·b)·(c·d)
-    let ab = DecompTree::merge(DecompTree::leaf(0, p[0]), DecompTree::leaf(1, p[1]), obj);
-    let cd = DecompTree::merge(DecompTree::leaf(2, p[2]), DecompTree::leaf(3, p[3]), obj);
-    let b = DecompTree::merge(ab, cd, obj);
-
-    // MINPOWER (Huffman, optimal for domino + uncorrelated — Theorem 2.2)
-    let h = minpower_tree(&p, obj);
+    let configs: Vec<usize> = vec![0, 1, 2];
+    let mut trees = par::scope_map(threads, &configs, |_, &which| match which {
+        // Configuration A: ((a·b)·c)·d
+        0 => {
+            let ab = DecompTree::merge(DecompTree::leaf(0, p[0]), DecompTree::leaf(1, p[1]), obj);
+            let abc = DecompTree::merge(ab, DecompTree::leaf(2, p[2]), obj);
+            DecompTree::merge(abc, DecompTree::leaf(3, p[3]), obj)
+        }
+        // Configuration B: (a·b)·(c·d)
+        1 => {
+            let ab = DecompTree::merge(DecompTree::leaf(0, p[0]), DecompTree::leaf(1, p[1]), obj);
+            let cd = DecompTree::merge(DecompTree::leaf(2, p[2]), DecompTree::leaf(3, p[3]), obj);
+            DecompTree::merge(ab, cd, obj)
+        }
+        // MINPOWER (Huffman, optimal for domino + uncorrelated — Theorem 2.2)
+        _ => minpower_tree(&p, obj),
+    });
+    let h = trees.pop().expect("three configs");
+    let b = trees.pop().expect("three configs");
+    let a = trees.pop().expect("three configs");
 
     println!("Figure 1: 4-input AND, P = (0.3, 0.4, 0.7, 0.5), p-type domino\n");
     println!(

@@ -1,0 +1,319 @@
+//! Per-stage perf-trajectory harness.
+//!
+//! Times every stage of the flow — optimize, decompose, activity
+//! (bit-parallel seeded simulation), map, glitch (event-driven power
+//! simulation) and verify (random-sim equivalence) — per circuit, once
+//! serially and once at N worker threads, and records the trajectory to a
+//! JSON file so successive commits can be compared.
+//!
+//! Usage:
+//!   cargo run --release -p lowpower-bench --bin perf [-- options]
+//! Options:
+//!   --circuits a,b,c  subset of suite circuits (default: a small/medium mix)
+//!   --threads N       parallel thread count to compare against serial
+//!                     (default: PAR_THREADS or the machine's cores)
+//!   --out FILE        output JSON path (default: BENCH_pr3.json)
+//!   --check           also assert that the parallel kernels produce
+//!                     results identical to serial, exit 1 on divergence
+//!
+//! JSON schema: an array of
+//!   `{"circuit", "method", "stage", "wall_ms", "threads", "speedup"}`
+//! where `speedup` is serial wall time over this entry's wall time
+//! (1.0 for the serial entries themselves). Stages that take no thread
+//! parameter (optimize, decompose, map) are recorded once with
+//! `"threads": 1`.
+
+use activity::{analyze, sim::simulate_activity_seeded, TransitionModel};
+use genlib::builtin::lib2_like;
+use lowpower::flow::{optimize, strip_constant_outputs, FlowConfig, Method};
+use lowpower::verify::{check_equiv, OutputPolicy, Verdict, VerifyLevel, VerifyOptions};
+use lowpower_core::decomp::{decompose_network, DecompOptions};
+use lowpower_core::map::{map_network, MapOptions, SubjectAig};
+use lowpower_core::power::simulate_glitch_power;
+use std::time::Instant;
+
+/// Vectors for the timed activity / glitch simulations — large enough for
+/// the chunked kernels to show their scaling.
+const SIM_VECTORS: usize = 4096;
+const SIM_WORDS: usize = 256;
+const SEED: u64 = 0xC0FFEE;
+
+const DEFAULT_CIRCUITS: &[&str] = &["cm42a", "x2", "s208", "s344", "s510"];
+
+struct Entry {
+    circuit: String,
+    method: String,
+    stage: &'static str,
+    wall_ms: f64,
+    threads: usize,
+    speedup: f64,
+}
+
+/// Wall time of `f` in milliseconds, best of two runs (the second run sees
+/// warm caches; the minimum is the stable trajectory signal).
+fn time_ms<R>(mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut circuits: Option<Vec<String>> = None;
+    let mut threads: Option<usize> = None;
+    let mut out = "BENCH_pr3.json".to_string();
+    let mut check = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--circuits" => {
+                i += 1;
+                circuits = Some(args[i].split(',').map(str::to_string).collect());
+            }
+            "--threads" => {
+                i += 1;
+                threads = Some(args[i].parse().expect("--threads takes a number"));
+            }
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let par_threads = par::thread_count(threads).max(1);
+    let selected: Vec<String> =
+        circuits.unwrap_or_else(|| DEFAULT_CIRCUITS.iter().map(|s| s.to_string()).collect());
+
+    let lib = lib2_like();
+    let cfg = FlowConfig::default();
+    let method = Method::V; // representative power flow for the staged path
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut diverged = false;
+
+    for name in &selected {
+        let net = benchgen::suite_circuit(name);
+        let mut push = |stage, wall_ms, threads, speedup| {
+            entries.push(Entry {
+                circuit: name.clone(),
+                method: method.to_string(),
+                stage,
+                wall_ms,
+                threads,
+                speedup,
+            });
+        };
+
+        // Serial stages: timed once.
+        let optimized = optimize(&net);
+        push("optimize", time_ms(|| optimize(&net)), 1, 1.0);
+
+        let dopts = DecompOptions {
+            style: method.decomp_style(),
+            model: cfg.model,
+            pi_probs: None,
+            required_time: None,
+            use_correlations: false,
+        };
+        let decomposed = decompose_network(&optimized, &dopts);
+        push(
+            "decompose",
+            time_ms(|| decompose_network(&optimized, &dopts)),
+            1,
+            1.0,
+        );
+
+        let (mappable, _) = strip_constant_outputs(&decomposed.network);
+        let probs = vec![0.5; mappable.inputs().len()];
+        let act = analyze(&mappable, &probs, TransitionModel::StaticCmos);
+        let aig = SubjectAig::from_network(&mappable, &act).expect("subject");
+        let mopts = MapOptions {
+            objective: method.map_objective(),
+            ..MapOptions::power()
+        };
+        let mapped = map_network(&aig, &lib, &mopts).expect("maps");
+        push(
+            "map",
+            time_ms(|| map_network(&aig, &lib, &mopts).expect("maps")),
+            1,
+            1.0,
+        );
+
+        // Threaded kernels: timed at 1 and at `par_threads`.
+        let mapped_view = mapped.to_network(&lib, mappable.name());
+        let vopts = |t: usize| {
+            VerifyOptions {
+                sim_words: SIM_WORDS,
+                ..VerifyOptions::at_level(VerifyLevel::Sim)
+            }
+            .with_outputs(OutputPolicy::Exact)
+            .with_threads(t)
+        };
+        type Kernel<'a> = Box<dyn FnMut(usize) + 'a>;
+        let kernels: [(&'static str, Kernel); 3] = [
+            (
+                "activity",
+                Box::new(|t| {
+                    simulate_activity_seeded(&mappable, &probs, SIM_VECTORS, SEED, t);
+                }),
+            ),
+            (
+                "glitch",
+                Box::new(|t| {
+                    simulate_glitch_power(
+                        &mapped,
+                        &lib,
+                        &cfg.env,
+                        &probs,
+                        SIM_VECTORS,
+                        SEED,
+                        cfg.po_load,
+                        t,
+                    );
+                }),
+            ),
+            (
+                "verify",
+                Box::new(|t| {
+                    let v = check_equiv(&mappable, &mapped_view, &vopts(t)).expect("comparable");
+                    assert!(v.is_ok(), "mapping broke {name}");
+                }),
+            ),
+        ];
+        for (stage, mut kernel) in kernels {
+            let serial_ms = time_ms(|| kernel(1));
+            push(stage, serial_ms, 1, 1.0);
+            if par_threads > 1 {
+                let par_ms = time_ms(|| kernel(par_threads));
+                push(stage, par_ms, par_threads, serial_ms / par_ms.max(1e-9));
+            }
+        }
+
+        if check {
+            let a1 = simulate_activity_seeded(&mappable, &probs, SIM_VECTORS, SEED, 1);
+            let an =
+                simulate_activity_seeded(&mappable, &probs, SIM_VECTORS, SEED, par_threads.max(2));
+            let g1 = simulate_glitch_power(
+                &mapped,
+                &lib,
+                &cfg.env,
+                &probs,
+                SIM_VECTORS,
+                SEED,
+                cfg.po_load,
+                1,
+            );
+            let gn = simulate_glitch_power(
+                &mapped,
+                &lib,
+                &cfg.env,
+                &probs,
+                SIM_VECTORS,
+                SEED,
+                cfg.po_load,
+                par_threads.max(2),
+            );
+            let v1 = check_equiv(&mappable, &mapped_view, &vopts(1)).expect("comparable");
+            let vn = check_equiv(&mappable, &mapped_view, &vopts(par_threads.max(2)))
+                .expect("comparable");
+            let act_same = a1 == an;
+            let glitch_same = g1 == gn;
+            let verify_same =
+                matches!((&v1, &vn), (Verdict::Equivalent(_), Verdict::Equivalent(_)));
+            if !(act_same && glitch_same && verify_same) {
+                eprintln!(
+                    "DIVERGENCE on {name}: activity={act_same} glitch={glitch_same} verify={verify_same}"
+                );
+                diverged = true;
+            }
+        }
+        eprintln!("done: {name}");
+    }
+
+    let json = render_json(&entries);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    print_summary(&entries, par_threads);
+    println!("\nwrote {} entries to {out}", entries.len());
+    if check {
+        if diverged {
+            eprintln!("FAIL: parallel kernels diverged from serial");
+            std::process::exit(1);
+        }
+        println!("check: parallel results identical to serial");
+    }
+}
+
+fn render_json(entries: &[Entry]) -> String {
+    let mut s = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"circuit\": \"{}\", \"method\": \"{}\", \"stage\": \"{}\", \
+             \"wall_ms\": {:.3}, \"threads\": {}, \"speedup\": {:.3}}}{}\n",
+            e.circuit,
+            e.method,
+            e.stage,
+            e.wall_ms,
+            e.threads,
+            e.speedup,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("]\n");
+    s
+}
+
+fn print_summary(entries: &[Entry], par_threads: usize) {
+    println!(
+        "\n{:<8} {:<10} {:>12} {:>12} {:>8}",
+        "circuit", "stage", "serial ms", "par ms", "speedup"
+    );
+    let circuits: Vec<&str> = {
+        let mut seen = Vec::new();
+        for e in entries {
+            if !seen.contains(&e.circuit.as_str()) {
+                seen.push(&e.circuit);
+            }
+        }
+        seen
+    };
+    for circuit in circuits {
+        for stage in [
+            "optimize",
+            "decompose",
+            "map",
+            "activity",
+            "glitch",
+            "verify",
+        ] {
+            let serial = entries
+                .iter()
+                .find(|e| e.circuit == circuit && e.stage == stage && e.threads == 1);
+            let par = entries
+                .iter()
+                .find(|e| e.circuit == circuit && e.stage == stage && e.threads > 1);
+            let Some(serial) = serial else { continue };
+            match par {
+                Some(p) => println!(
+                    "{:<8} {:<10} {:>12.3} {:>12.3} {:>7.2}x",
+                    circuit, stage, serial.wall_ms, p.wall_ms, p.speedup
+                ),
+                None => println!(
+                    "{:<8} {:<10} {:>12.3} {:>12} {:>8}",
+                    circuit, stage, serial.wall_ms, "-", "-"
+                ),
+            }
+        }
+    }
+    if par_threads == 1 {
+        println!("(single-core host: parallel columns omitted — rerun with --threads N)");
+    }
+}

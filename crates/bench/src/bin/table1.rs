@@ -6,7 +6,11 @@
 //! probability patterns; all possible AND decompositions enumerated to find
 //! the optimum. Paper result: 100 / 96 / 93 / 88 %.
 //!
-//! Usage: `cargo run --release -p lowpower-bench --bin table1 [trials]`
+//! Usage:
+//!   `cargo run --release -p lowpower-bench --bin table1 [trials] [--threads N]`
+//!
+//! Each row (input count) draws from its own seeded stream, so the rows
+//! run concurrently and the table is identical at any thread count.
 
 use activity::TransitionModel;
 use lowpower_core::decomp::{
@@ -16,10 +20,21 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let trials: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(500);
+    let mut trials: usize = 500;
+    let mut threads: Option<usize> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                threads = Some(args[i].parse().expect("--threads takes a number"));
+            }
+            other => trials = other.parse().expect("trials must be a number"),
+        }
+        i += 1;
+    }
+    let threads = par::thread_count(threads);
     let obj = DecompObjective::new(TransitionModel::StaticCmos, GateKind::And);
     println!("Table 1: Modified Huffman optimality (static CMOS AND decomposition)");
     println!("{trials} random input patterns per row, exhaustive oracle\n");
@@ -29,7 +44,9 @@ fn main() {
     );
     println!("{:-<17}-+-{:-<28}-+-{:-<6}", "", "", "");
     let paper = [100, 96, 93, 88];
-    for (row, n) in (3..=6).enumerate() {
+    let ns: Vec<usize> = (3..=6).collect();
+    // Each row owns an independent seeded stream — fan the rows out.
+    let pcts: Vec<f64> = par::scope_map(threads, &ns, |_, &n| {
         let mut rng = StdRng::seed_from_u64(0xF00D + n as u64);
         let mut optimal = 0usize;
         for _ in 0..trials {
@@ -40,7 +57,9 @@ fn main() {
                 optimal += 1;
             }
         }
-        let pct = 100.0 * optimal as f64 / trials as f64;
+        100.0 * optimal as f64 / trials as f64
+    });
+    for (row, (&n, pct)) in ns.iter().zip(pcts).enumerate() {
         println!("{n:>17} | {pct:>28.1} | {:>6}", paper[row]);
     }
 }

@@ -13,6 +13,9 @@
 //!   --circuits a,b,c     subset of suite circuits
 //!   --power-method 2     use Method 2 bookkeeping (ablation, §3.1)
 //!   --no-fanout-division disable the §3.3 DAG heuristic (ablation)
+//!   --threads N          worker threads for the (circuit × method) cells
+//!                        (default: PAR_THREADS or the machine's cores);
+//!                        the output is byte-identical at any setting
 
 use benchgen::{paper_suite, suite_circuit};
 use genlib::builtin::lib2_like;
@@ -25,12 +28,17 @@ fn main() {
     let mut circuits: Option<Vec<String>> = None;
     let mut power_method = PowerMethod::InputLoads;
     let mut fanout_division = true;
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--circuits" => {
                 i += 1;
                 circuits = Some(args[i].split(',').map(str::to_string).collect());
+            }
+            "--threads" => {
+                i += 1;
+                threads = Some(args[i].parse().expect("--threads takes a number"));
             }
             "--power-method" => {
                 i += 1;
@@ -49,31 +57,44 @@ fn main() {
 
     let lib = lib2_like();
     let cfg = FlowConfig::default();
+    let threads = par::thread_count(threads);
     let selected: Vec<&str> = match &circuits {
         Some(list) => list.iter().map(String::as_str).collect(),
         None => paper_suite().iter().map(|e| e.name).collect(),
     };
 
-    let mut rows: Vec<SuiteRow> = Vec::new();
-    for name in &selected {
-        let net = suite_circuit(name);
-        let optimized = optimize(&net);
-        let mut methods = Vec::with_capacity(6);
-        for m in Method::ALL {
-            let mut r = run_method(&optimized, &lib, m, &cfg)
-                .unwrap_or_else(|e| panic!("method {m} failed on {name}: {e}"));
-            // apply ablation switches by re-running with modified options
-            if power_method == PowerMethod::OutputLoad || !fanout_division {
-                r = rerun_with(&optimized, &lib, m, &cfg, power_method, fanout_division);
-            }
-            methods.push((r.report.area, r.report.delay, r.glitch_power_uw));
+    // Stage 1: the optimized network is shared by all six methods of a
+    // circuit, so optimize each circuit once, concurrently.
+    let nets: Vec<netlist::Network> = selected.iter().map(|n| suite_circuit(n)).collect();
+    let optimized: Vec<netlist::Network> = par::scope_map(threads, &nets, |_, net| optimize(net));
+
+    // Stage 2: every (circuit, method) cell is independent; fan the flat
+    // cell list over the workers and reassemble rows in order, so the
+    // tables are byte-identical at any thread count.
+    let cells: Vec<(usize, Method)> = (0..selected.len())
+        .flat_map(|ci| Method::ALL.into_iter().map(move |m| (ci, m)))
+        .collect();
+    let results: Vec<(f64, f64, f64)> = par::scope_map(threads, &cells, |_, &(ci, m)| {
+        let name = selected[ci];
+        let mut r = run_method(&optimized[ci], &lib, m, &cfg)
+            .unwrap_or_else(|e| panic!("method {m} failed on {name}: {e}"));
+        // apply ablation switches by re-running with modified options
+        if power_method == PowerMethod::OutputLoad || !fanout_division {
+            r = rerun_with(&optimized[ci], &lib, m, &cfg, power_method, fanout_division);
         }
-        rows.push(SuiteRow {
-            name: name.to_string(),
-            methods,
-        });
-        eprintln!("done: {name}");
-    }
+        (r.report.area, r.report.delay, r.glitch_power_uw)
+    });
+    let rows: Vec<SuiteRow> = selected
+        .iter()
+        .enumerate()
+        .map(|(ci, name)| {
+            eprintln!("done: {name}");
+            SuiteRow {
+                name: name.to_string(),
+                methods: results[ci * Method::ALL.len()..(ci + 1) * Method::ALL.len()].to_vec(),
+            }
+        })
+        .collect();
 
     print_table(
         "Table 2: area-delay mapping (ad-map)",
@@ -150,15 +171,15 @@ fn rerun_with(
     };
     let mapped = map_network(&aig, lib, &mopts).expect("map");
     let report = evaluate(&mapped, lib, &cfg.env, cfg.model, cfg.po_load);
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.sim_seed);
     let glitch = lowpower_core::power::simulate_glitch_power(
         &mapped,
         lib,
         &cfg.env,
         &pi_probs,
         cfg.sim_vectors,
-        &mut rng,
+        cfg.sim_seed,
         cfg.po_load,
+        cfg.sim_threads,
     );
     lowpower::flow::MethodResult {
         report,

@@ -78,8 +78,46 @@ impl Curve {
         self.points.is_empty()
     }
 
-    /// Add a candidate point (no pruning yet).
+    /// Add a candidate point, maintaining the non-inferior invariant by
+    /// **dominance-pruned insertion**: a binary search finds the arrival
+    /// position, the candidate is dropped when an existing no-later point
+    /// is already no-costlier, and any existing points the candidate
+    /// dominates are removed. The curve stays sorted by strictly
+    /// increasing arrival / strictly decreasing cost at all times, so
+    /// [`Curve::finalize`] no longer needs to sort or Pareto-prune.
     pub fn push(&mut self, p: Point) {
+        // First index whose (arrival, cost) is lexicographically >= p's:
+        // everything before it is strictly earlier-or-cheaper.
+        let pos = self
+            .points
+            .partition_point(|q| (q.arrival, q.cost) < (p.arrival, p.cost));
+        // Dominated by a predecessor (no-later arrival, no-cheaper cost
+        // within the dedup margin): drop. The predecessor check suffices —
+        // costs before `pos` decrease, so its cost is the minimum so far.
+        if let Some(prev) = pos.checked_sub(1).map(|i| &self.points[i]) {
+            if p.cost >= prev.cost - 1e-12 {
+                return;
+            }
+        }
+        // Remove the successors the candidate dominates: they arrive no
+        // earlier and cost at least `p.cost - 1e-12`. Costs decrease with
+        // index, so the dominated points form a prefix of the suffix.
+        let mut end = pos;
+        while end < self.points.len() && self.points[end].cost >= p.cost - 1e-12 {
+            end += 1;
+        }
+        if end == pos {
+            self.points.insert(pos, p);
+        } else {
+            self.points[pos] = p;
+            self.points.drain(pos + 1..end);
+        }
+    }
+
+    /// Append a point verbatim, bypassing the dominance pruning of
+    /// [`Curve::push`]. Exists so lint tests can materialize curves that
+    /// violate the invariant; never call it from mapping code.
+    pub fn push_unpruned_for_test(&mut self, p: Point) {
         self.points.push(p);
     }
 
@@ -97,45 +135,38 @@ impl Curve {
         if self.points.is_empty() {
             return;
         }
-        self.points.sort_by(|a, b| {
-            (a.arrival, a.cost)
-                .partial_cmp(&(b.arrival, b.cost))
-                .expect("finite")
-        });
-        let mut kept: Vec<Point> = Vec::with_capacity(self.points.len());
-        let mut best_cost = f64::INFINITY;
-        for p in self.points.drain(..) {
-            if p.cost < best_cost - 1e-12 {
-                best_cost = p.cost;
-                kept.push(p);
-            }
-        }
-        // ε-merge: within an arrival window keep the last (cheapest) point.
+        // Dominance pruning already happened incrementally in `push`
+        // (sorted, strictly decreasing cost), so only the ε-merge and the
+        // thinning remain — both run in place, allocation-free.
+        //
+        // ε-merge: within an arrival window keep the last (cheapest)
+        // point — replacing loses a little speed, never power.
         if epsilon > 0.0 {
-            let mut merged: Vec<Point> = Vec::with_capacity(kept.len());
-            for p in kept {
-                if let Some(last) = merged.last() {
-                    if p.arrival - last.arrival < epsilon {
-                        // same window: the later point is cheaper (sorted),
-                        // replace — this loses a little speed, never power.
-                        merged.pop();
-                    }
+            let mut write = 0;
+            for read in 0..self.points.len() {
+                if write > 0 && self.points[read].arrival - self.points[write - 1].arrival < epsilon
+                {
+                    self.points.swap(write - 1, read);
+                } else {
+                    self.points.swap(write, read);
+                    write += 1;
                 }
-                merged.push(p);
             }
-            kept = merged;
+            self.points.truncate(write);
         }
-        if kept.len() > Self::MAX_POINTS {
-            let n = kept.len();
-            let mut thinned: Vec<Point> = Vec::with_capacity(Self::MAX_POINTS);
+        if self.points.len() > Self::MAX_POINTS {
+            // Keep the fastest and cheapest endpoints plus an even spread:
+            // source indices grow at least as fast as destinations, so the
+            // compaction never reads an overwritten slot.
+            let n = self.points.len();
             for k in 0..Self::MAX_POINTS {
                 let idx = k * (n - 1) / (Self::MAX_POINTS - 1);
-                thinned.push(kept[idx].clone());
+                self.points.swap(k, idx);
             }
-            thinned.dedup_by(|a, b| a.arrival == b.arrival && a.cost == b.cost);
-            kept = thinned;
+            self.points.truncate(Self::MAX_POINTS);
+            self.points
+                .dedup_by(|a, b| a.arrival == b.arrival && a.cost == b.cost);
         }
-        self.points = kept;
         debug_assert!(
             self.invariant_violation().is_none(),
             "finalize broke the curve invariant: {:?}",
@@ -293,24 +324,103 @@ mod tests {
         assert!(good.invariant_violation().is_none());
 
         let mut dominated = Curve::new();
-        dominated.push(pt(1.0, 10.0));
-        dominated.push(pt(2.0, 10.0)); // slower, not cheaper
+        dominated.push_unpruned_for_test(pt(1.0, 10.0));
+        dominated.push_unpruned_for_test(pt(2.0, 10.0)); // slower, not cheaper
         assert!(dominated
             .invariant_violation()
             .unwrap()
             .contains("dominated"));
 
         let mut unsorted = Curve::new();
-        unsorted.push(pt(2.0, 5.0));
-        unsorted.push(pt(1.0, 10.0));
+        unsorted.push_unpruned_for_test(pt(2.0, 5.0));
+        unsorted.push_unpruned_for_test(pt(1.0, 10.0));
         assert!(unsorted
             .invariant_violation()
             .unwrap()
             .contains("strictly increasing"));
 
         let mut nan = Curve::new();
-        nan.push(pt(f64::NAN, 1.0));
+        nan.push_unpruned_for_test(pt(f64::NAN, 1.0));
         assert!(nan.invariant_violation().unwrap().contains("non-finite"));
+    }
+
+    /// The pre-insertion-pruning `finalize`: sort, batch Pareto prune,
+    /// ε-merge, thin. Kept as the oracle for the incremental rewrite.
+    fn finalize_reference(mut points: Vec<Point>, epsilon: f64) -> Vec<Point> {
+        if points.is_empty() {
+            return points;
+        }
+        points.sort_by(|a, b| {
+            (a.arrival, a.cost)
+                .partial_cmp(&(b.arrival, b.cost))
+                .expect("finite")
+        });
+        let mut kept: Vec<Point> = Vec::with_capacity(points.len());
+        let mut best_cost = f64::INFINITY;
+        for p in points {
+            if p.cost < best_cost - 1e-12 {
+                best_cost = p.cost;
+                kept.push(p);
+            }
+        }
+        if epsilon > 0.0 {
+            let mut merged: Vec<Point> = Vec::with_capacity(kept.len());
+            for p in kept {
+                if let Some(last) = merged.last() {
+                    if p.arrival - last.arrival < epsilon {
+                        merged.pop();
+                    }
+                }
+                merged.push(p);
+            }
+            kept = merged;
+        }
+        if kept.len() > Curve::MAX_POINTS {
+            let n = kept.len();
+            let mut thinned: Vec<Point> = Vec::with_capacity(Curve::MAX_POINTS);
+            for k in 0..Curve::MAX_POINTS {
+                let idx = k * (n - 1) / (Curve::MAX_POINTS - 1);
+                thinned.push(kept[idx].clone());
+            }
+            thinned.dedup_by(|a, b| a.arrival == b.arrival && a.cost == b.cost);
+            kept = thinned;
+        }
+        kept
+    }
+
+    #[test]
+    fn push_finalize_matches_batch_reference_on_random_curves() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xCA11ED);
+        for case in 0..300 {
+            let n = rng.gen_range(0usize..80);
+            let epsilon = [0.0, 0.05, 0.5][case % 3];
+            let pts: Vec<Point> = (0..n)
+                .map(|_| pt(rng.gen_range(0.0..10.0), rng.gen_range(0.0..100.0)))
+                .collect();
+            let mut c = Curve::new();
+            for p in &pts {
+                c.push(p.clone());
+            }
+            c.finalize(epsilon);
+            let want = finalize_reference(pts, epsilon);
+            let got: Vec<(f64, f64)> = c.points().iter().map(|p| (p.arrival, p.cost)).collect();
+            let want: Vec<(f64, f64)> = want.iter().map(|p| (p.arrival, p.cost)).collect();
+            assert_eq!(got, want, "case {case} (n={n}, ε={epsilon})");
+        }
+    }
+
+    #[test]
+    fn push_prunes_incrementally() {
+        let mut c = Curve::new();
+        c.push(pt(2.0, 5.0));
+        c.push(pt(1.0, 10.0)); // out-of-order insert: lands first
+        c.push(pt(1.5, 12.0)); // dominated by (1.0, 10.0): dropped
+        c.push(pt(3.0, 5.0)); // dominated by (2.0, 5.0): dropped
+        c.push(pt(0.5, 4.0)); // dominates everything: curve collapses
+        let got: Vec<(f64, f64)> = c.points().iter().map(|p| (p.arrival, p.cost)).collect();
+        assert_eq!(got, vec![(0.5, 4.0)]);
+        assert!(c.invariant_violation().is_none());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! mapped-netlist construction (§3.2–3.3).
 
 use crate::map::curve::{Curve, Point};
-use crate::map::matcher::matches_at;
+use crate::map::matcher::Matcher;
 use crate::map::pattern::PatternSet;
 use crate::map::subject::{AigNode, MapError, Signal, SubjectAig};
 use activity::{PowerEnv, TransitionModel};
@@ -178,6 +178,8 @@ pub fn map_network(
     }
     let c_def = lib.default_load();
     let mut curves: Vec<[Curve; 2]> = Vec::with_capacity(aig.len());
+    let mut matcher = Matcher::new();
+    let mut cands: Vec<f64> = Vec::new();
 
     // ---- postorder: curve computation -------------------------------
     for idx in 0..aig.len() as u32 {
@@ -194,7 +196,7 @@ pub fn map_network(
                 });
             }
             AigNode::And { .. } => {
-                for m in matches_at(aig, &ps, idx) {
+                for m in matcher.matches_at(aig, &ps, idx) {
                     let target = if m.root_compl { &mut neg } else { &mut pos };
                     add_match_points(
                         aig,
@@ -206,6 +208,7 @@ pub fn map_network(
                         m.gate,
                         &m.pin_bindings,
                         target,
+                        &mut cands,
                     );
                 }
             }
@@ -330,7 +333,9 @@ pub fn map_network(
         let pick = *chosen
             .get(&key)
             .ok_or_else(|| MapError::UnmappedOutput(format!("signal {s:?}")))?;
-        let point = curves[s.node as usize][s.compl as usize].points()[pick].clone();
+        // Borrow, don't clone: the curve store outlives the recursion and
+        // is never mutated during netlist construction.
+        let point = &curves[s.node as usize][s.compl as usize].points()[pick];
         let gi = point
             .gate
             .ok_or_else(|| MapError::UnmappedOutput(format!("signal {s:?}")))?;
@@ -410,7 +415,9 @@ fn select_point(curve: &Curve, demands: &[Demand], c_def: f64) -> Option<usize> 
     best.or(fallback).map(|(i, _)| i)
 }
 
-/// Compute and push the curve points of one match.
+/// Compute and push the curve points of one match. `cands` is caller-owned
+/// scratch for the candidate arrival times, reused across every match of a
+/// mapping run.
 #[allow(clippy::too_many_arguments)]
 fn add_match_points(
     aig: &SubjectAig,
@@ -422,23 +429,21 @@ fn add_match_points(
     gate_idx: usize,
     bindings: &[Signal],
     out: &mut Curve,
+    cands: &mut Vec<f64>,
 ) {
     let gate = &lib.gates()[gate_idx];
     // Leaf curves must exist and be below this node (guaranteed: bindings
     // reference strictly lower nodes, or the node itself never — patterns
     // are rooted here).
-    let pin_curves: Vec<&Curve> = bindings
-        .iter()
-        .map(|s| &curves[s.node as usize][s.compl as usize])
-        .collect();
-    if pin_curves.iter().any(|c| c.is_empty()) {
+    let pin_curve = |s: &Signal| &curves[s.node as usize][s.compl as usize];
+    if bindings.iter().any(|s| pin_curve(s).is_empty()) {
         return;
     }
     // Candidate output arrivals.
-    let mut cands: Vec<f64> = Vec::new();
-    for (pin_idx, c) in pin_curves.iter().enumerate() {
+    cands.clear();
+    for (pin_idx, s) in bindings.iter().enumerate() {
         let pin = gate.pin(pin_idx);
-        for p in c.points() {
+        for p in pin_curve(s).points() {
             cands.push(p.arrival_at_load(pin.input_cap, c_def) + pin.intrinsic + pin.drive * c_def);
         }
     }
@@ -446,7 +451,7 @@ fn add_match_points(
     cands.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
     let drive = gate.pins().iter().map(|p| p.drive).fold(0.0, f64::max);
-    for &t in &cands {
+    for &t in cands.iter() {
         let mut cost = match opts.objective {
             MapObjective::Area => gate.area(),
             MapObjective::Power => match opts.power_method {
@@ -461,11 +466,11 @@ fn add_match_points(
         };
         let mut actual_t = 0.0f64;
         let mut ok = true;
-        for (pin_idx, c) in pin_curves.iter().enumerate() {
+        for (pin_idx, s) in bindings.iter().enumerate() {
             let pin = gate.pin(pin_idx);
-            let s = bindings[pin_idx];
+            let s = *s;
             let req = t - (pin.intrinsic + pin.drive * c_def);
-            let Some((_, p)) = c.best_within(req, pin.input_cap, c_def) else {
+            let Some((_, p)) = pin_curve(&s).best_within(req, pin.input_cap, c_def) else {
                 ok = false;
                 break;
             };

@@ -15,34 +15,65 @@ pub struct Match {
     pub pin_bindings: Vec<Signal>,
 }
 
-/// Find all matches of all patterns rooted at AIG node `node`.
-///
-/// Phase rule: a pattern with `root_compl = false` implements the node
-/// output itself; with `root_compl = true` it implements the complement.
-pub fn matches_at(aig: &SubjectAig, ps: &PatternSet, node: u32) -> Vec<Match> {
-    let AigNode::And { .. } = aig.nodes()[node as usize] else {
-        return Vec::new();
-    };
-    let mut out = Vec::new();
-    for pat in ps.patterns() {
-        let mut bindings: Vec<Option<Signal>> = vec![None; pat.pin_count];
-        match_node(aig, &pat.root, node, &mut bindings, &mut |b| {
-            // All pins of the gate must be bound (patterns bind every pin of
-            // a well-formed gate function).
-            if b.iter().all(Option::is_some) {
-                let m = Match {
-                    gate: pat.gate,
-                    root_compl: pat.root_compl,
-                    pin_bindings: b.iter().map(|s| s.expect("checked")).collect(),
-                };
-                if !out.contains(&m) {
-                    out.push(m);
-                }
-            }
-        });
-        let _ = pat; // patterns are independent; bindings reset per pattern
+/// Reusable match-finding state: the mapper walks every AIG node in
+/// postorder, and allocating a fresh match vector and binding buffer per
+/// node dominated the matching cost. One `Matcher` lives for a whole
+/// mapping run; its buffers are cleared, never reallocated, between nodes.
+#[derive(Debug, Default)]
+pub struct Matcher {
+    out: Vec<Match>,
+    bindings: Vec<Option<Signal>>,
+}
+
+impl Matcher {
+    /// Fresh matcher with empty scratch.
+    pub fn new() -> Matcher {
+        Matcher::default()
     }
-    out
+
+    /// Find all matches of all patterns rooted at AIG node `node`. The
+    /// returned slice borrows this matcher's scratch and is valid until
+    /// the next call.
+    ///
+    /// Phase rule: a pattern with `root_compl = false` implements the node
+    /// output itself; with `root_compl = true` it implements the
+    /// complement.
+    pub fn matches_at(&mut self, aig: &SubjectAig, ps: &PatternSet, node: u32) -> &[Match] {
+        self.out.clear();
+        let AigNode::And { .. } = aig.nodes()[node as usize] else {
+            return &self.out;
+        };
+        let out = &mut self.out;
+        let bindings = &mut self.bindings;
+        for pat in ps.patterns() {
+            // patterns are independent; bindings reset per pattern
+            bindings.clear();
+            bindings.resize(pat.pin_count, None);
+            match_node(aig, &pat.root, node, bindings, &mut |b| {
+                // All pins of the gate must be bound (patterns bind every
+                // pin of a well-formed gate function).
+                if b.iter().all(Option::is_some) {
+                    let m = Match {
+                        gate: pat.gate,
+                        root_compl: pat.root_compl,
+                        pin_bindings: b.iter().map(|s| s.expect("checked")).collect(),
+                    };
+                    if !out.contains(&m) {
+                        out.push(m);
+                    }
+                }
+            });
+        }
+        &self.out
+    }
+}
+
+/// One-shot convenience over [`Matcher::matches_at`] for tests and callers
+/// outside the postorder hot loop.
+pub fn matches_at(aig: &SubjectAig, ps: &PatternSet, node: u32) -> Vec<Match> {
+    let mut m = Matcher::new();
+    m.matches_at(aig, ps, node);
+    m.out
 }
 
 /// Try to match pattern AND-node `pn` at subject AND node `s`, exploring

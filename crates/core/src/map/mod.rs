@@ -31,5 +31,6 @@ pub mod subject;
 
 pub use curve::{Curve, CurveDefect, Point};
 pub use mapper::{map_network, MapObjective, MapOptions, MappedNetwork, PowerMethod};
+pub use matcher::{Match, Matcher};
 pub use pattern::PatternSet;
 pub use subject::{MapError, Signal, SubjectAig};

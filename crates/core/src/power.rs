@@ -9,7 +9,8 @@
 use crate::map::mapper::{MappedNetwork, NetRef};
 use activity::{PowerEnv, TransitionModel};
 use genlib::Library;
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -102,6 +103,103 @@ pub struct GlitchReport {
     pub vector_pairs: usize,
 }
 
+/// Immutable per-run context of the glitch simulation, shared by every
+/// worker thread.
+struct GlitchCtx<'a> {
+    m: &'a MappedNetwork,
+    lib: &'a Library,
+    pi_probs: &'a [f64],
+    seed: u64,
+    n_pi: usize,
+    n_net: usize,
+    /// Capacitive load per net (PI nets first, then instance outputs).
+    load: Vec<f64>,
+    /// `(instance, pin)` consumers per net.
+    consumers: Vec<Vec<(usize, usize)>>,
+}
+
+impl GlitchCtx<'_> {
+    fn slot(&self, r: &NetRef) -> usize {
+        match r {
+            NetRef::Pi(i) => *i,
+            NetRef::Inst(i) => self.n_pi + *i,
+        }
+    }
+
+    /// Input vector `v` of the seeded stream: a pure function of
+    /// `(seed, v)`, so any worker can draw any vector independently.
+    fn vector(&self, v: usize) -> Vec<bool> {
+        let mut rng = SmallRng::seed_from_u64(par::split_seed(self.seed, v as u64));
+        self.pi_probs
+            .iter()
+            .map(|&p| rng.gen_bool(p.clamp(0.0, 1.0)))
+            .collect()
+    }
+
+    /// Settled zero-delay evaluation for a pair's initial state.
+    fn eval_settled(&self, pis: &[bool]) -> Vec<bool> {
+        let mut v = vec![false; self.n_net];
+        v[..self.n_pi].copy_from_slice(pis);
+        for (ii, inst) in self.m.instances.iter().enumerate() {
+            let ins: Vec<bool> = inst.inputs.iter().map(|r| v[self.slot(r)]).collect();
+            v[self.n_pi + ii] = self.lib.gates()[inst.gate].eval(&ins);
+        }
+        v
+    }
+
+    /// Event-driven simulation of vector pairs `[range.start, range.end)`
+    /// (pair `p` transitions from vector `p` to vector `p + 1`), counting
+    /// transitions per net. Pairs are independent — the serial algorithm
+    /// re-settles the state between pairs anyway — so any partition of the
+    /// pair space counts exactly the same transitions.
+    fn simulate_pairs(&self, range: std::ops::Range<usize>) -> Vec<u64> {
+        let mut transitions = vec![0u64; self.n_net];
+        if range.is_empty() {
+            return transitions;
+        }
+        // femtosecond integer timestamps keep the heap totally ordered
+        let to_fs = |t_ns: f64| -> u64 { (t_ns * 1.0e6) as u64 };
+        let event_cap = 200 * self.n_net; // runaway guard (oscillation is
+                                          // impossible in a DAG, but glitch
+                                          // trains can be long)
+        let mut cur = self.eval_settled(&self.vector(range.start));
+        let mut heap: BinaryHeap<Reverse<(u64, usize, bool)>> = BinaryHeap::new();
+        for p in range {
+            let next = self.vector(p + 1);
+            heap.clear();
+            for (i, (&nv, cv)) in next.iter().zip(cur[..self.n_pi].to_vec()).enumerate() {
+                if nv != cv {
+                    heap.push(Reverse((0, i, nv)));
+                }
+            }
+            let mut budget = event_cap;
+            while let Some(Reverse((t, net, value))) = heap.pop() {
+                if cur[net] == value {
+                    continue;
+                }
+                cur[net] = value;
+                transitions[net] += 1;
+                budget -= 1;
+                if budget == 0 {
+                    break;
+                }
+                for &(ii, pin_idx) in &self.consumers[net] {
+                    let inst = &self.m.instances[ii];
+                    let gate = &self.lib.gates()[inst.gate];
+                    let ins: Vec<bool> = inst.inputs.iter().map(|r| cur[self.slot(r)]).collect();
+                    let out = gate.eval(&ins);
+                    let pin = gate.pin(pin_idx);
+                    let d = pin.intrinsic + pin.drive * self.load[self.n_pi + ii];
+                    heap.push(Reverse((t + to_fs(d), self.n_pi + ii, out)));
+                }
+            }
+            // make sure the state is fully settled before the next pair
+            cur = self.eval_settled(&next);
+        }
+        transitions
+    }
+}
+
 /// Estimate average power by **event-driven timing simulation** with the
 /// pin-dependent library delay model — the stand-in for the Ghosh et al.
 /// estimator the paper uses for its reported numbers ("a general delay
@@ -114,16 +212,23 @@ pub struct GlitchReport {
 /// `τ + R·C_load`; output events that do not change the settled net value
 /// are dropped at delivery time (approximate inertial filtering).
 ///
+/// The vector stream is seed-split per vector index
+/// ([`par::split_seed`]), and the `vectors - 1` pairs run chunked on up to
+/// `threads` workers with the integer transition tallies merged in chunk
+/// order — the report is bit-identical at every thread count.
+///
 /// # Panics
 /// Panics if `pi_probs.len()` differs from the PI count or `vectors < 2`.
-pub fn simulate_glitch_power<R: Rng>(
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_glitch_power(
     m: &MappedNetwork,
     lib: &Library,
     env: &PowerEnv,
     pi_probs: &[f64],
     vectors: usize,
-    rng: &mut R,
+    seed: u64,
     po_load: f64,
+    threads: usize,
 ) -> GlitchReport {
     assert_eq!(
         pi_probs.len(),
@@ -133,89 +238,50 @@ pub fn simulate_glitch_power<R: Rng>(
     assert!(vectors >= 2, "need at least two vectors");
     let n_pi = m.pi_names.len();
     let n_net = n_pi + m.instances.len();
-    let slot = |r: &NetRef| match r {
-        NetRef::Pi(i) => *i,
-        NetRef::Inst(i) => n_pi + *i,
+    let mut ctx = GlitchCtx {
+        m,
+        lib,
+        pi_probs,
+        seed,
+        n_pi,
+        n_net,
+        load: vec![0.0f64; n_net],
+        consumers: vec![Vec::new(); n_net],
     };
-    // loads and consumer lists
-    let mut load = vec![0.0f64; n_net];
-    let mut consumers: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_net];
     for (ii, inst) in m.instances.iter().enumerate() {
         let gate = &lib.gates()[inst.gate];
         for (pin_idx, r) in inst.inputs.iter().enumerate() {
-            load[slot(r)] += gate.pin(pin_idx).input_cap;
-            consumers[slot(r)].push((ii, pin_idx));
+            let s = ctx.slot(r);
+            ctx.load[s] += gate.pin(pin_idx).input_cap;
+            ctx.consumers[s].push((ii, pin_idx));
         }
     }
     for (_, r) in &m.outputs {
-        load[slot(r)] += po_load;
-    }
-
-    // settled zero-delay evaluation for the initial state
-    let eval_settled = |pis: &[bool]| -> Vec<bool> {
-        let mut v = vec![false; n_net];
-        v[..n_pi].copy_from_slice(pis);
-        for (ii, inst) in m.instances.iter().enumerate() {
-            let ins: Vec<bool> = inst.inputs.iter().map(|r| v[slot(r)]).collect();
-            v[n_pi + ii] = lib.gates()[inst.gate].eval(&ins);
-        }
-        v
-    };
-
-    let draw = |rng: &mut R| -> Vec<bool> {
-        pi_probs
-            .iter()
-            .map(|&p| rng.gen_bool(p.clamp(0.0, 1.0)))
-            .collect()
-    };
-
-    let mut transitions = vec![0u64; n_net];
-    let mut cur = eval_settled(&draw(rng));
-    // femtosecond integer timestamps keep the heap totally ordered
-    let to_fs = |t_ns: f64| -> u64 { (t_ns * 1.0e6) as u64 };
-    let event_cap = 200 * n_net; // runaway guard (oscillation is impossible
-                                 // in a DAG, but glitch trains can be long)
-    for _ in 0..vectors - 1 {
-        let next = draw(rng);
-        let mut heap: BinaryHeap<Reverse<(u64, usize, bool)>> = BinaryHeap::new();
-        for (i, (&nv, cv)) in next.iter().zip(cur[..n_pi].to_vec()).enumerate() {
-            if nv != cv {
-                heap.push(Reverse((0, i, nv)));
-            }
-        }
-        let mut budget = event_cap;
-        while let Some(Reverse((t, net, value))) = heap.pop() {
-            if cur[net] == value {
-                continue;
-            }
-            cur[net] = value;
-            transitions[net] += 1;
-            budget -= 1;
-            if budget == 0 {
-                break;
-            }
-            for &(ii, pin_idx) in &consumers[net] {
-                let inst = &m.instances[ii];
-                let gate = &lib.gates()[inst.gate];
-                let ins: Vec<bool> = inst.inputs.iter().map(|r| cur[slot(r)]).collect();
-                let out = gate.eval(&ins);
-                let pin = gate.pin(pin_idx);
-                let d = pin.intrinsic + pin.drive * load[n_pi + ii];
-                heap.push(Reverse((t + to_fs(d), n_pi + ii, out)));
-            }
-        }
-        // make sure the state is fully settled before the next pair
-        cur = eval_settled(&next);
+        let s = ctx.slot(r);
+        ctx.load[s] += po_load;
     }
 
     let pairs = vectors - 1;
+    let ranges = par::split_ranges(pairs, threads.max(1) * 4);
+    let transitions = par::chunked_reduce(
+        threads,
+        ranges.len(),
+        |i| ctx.simulate_pairs(ranges[i].clone()),
+        |acc, chunk| {
+            for (a, c) in acc.iter_mut().zip(chunk) {
+                *a += c;
+            }
+        },
+    )
+    .unwrap_or_else(|| vec![0u64; n_net]);
+
     let mut power_uw = 0.0;
     let mut total_e = 0.0;
     // Gate-output nets only; PI nets are charged to their external drivers.
     for (i, &c) in transitions.iter().enumerate().skip(n_pi) {
         let e = c as f64 / pairs as f64;
         total_e += e;
-        power_uw += env.average_power_uw(load[i], e);
+        power_uw += env.average_power_uw(ctx.load[i], e);
     }
     let gate_nets = (n_net - n_pi).max(1);
     GlitchReport {
@@ -278,7 +344,6 @@ mod tests {
 
     #[test]
     fn glitch_power_at_least_zero_delay_power() {
-        use rand::SeedableRng;
         // Unequal path depths feed an AND: glitches add transitions, so the
         // simulated power must be >= (approximately) the zero-delay power.
         let blif = ".model t\n.inputs a b c d\n.outputs f\n\
@@ -287,8 +352,7 @@ mod tests {
         let (m, lib) = mapped(blif, &[0.5; 4], &MapOptions::area());
         let env = PowerEnv::new();
         let zero = evaluate(&m, &lib, &env, TransitionModel::StaticCmos, 1.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
-        let g = simulate_glitch_power(&m, &lib, &env, &[0.5; 4], 4000, &mut rng, 1.0);
+        let g = simulate_glitch_power(&m, &lib, &env, &[0.5; 4], 4000, 17, 1.0, 1);
         assert!(
             g.power_uw > zero.power_uw * 0.9,
             "glitch {} vs zero-delay {}",
@@ -300,23 +364,41 @@ mod tests {
 
     #[test]
     fn glitch_power_deterministic_in_seed() {
-        use rand::SeedableRng;
         let (m, lib) = mapped(SAMPLE, &[0.5; 3], &MapOptions::power());
         let env = PowerEnv::new();
-        let mut r1 = rand::rngs::StdRng::seed_from_u64(5);
-        let mut r2 = rand::rngs::StdRng::seed_from_u64(5);
-        let a = simulate_glitch_power(&m, &lib, &env, &[0.5; 3], 500, &mut r1, 1.0);
-        let b = simulate_glitch_power(&m, &lib, &env, &[0.5; 3], 500, &mut r2, 1.0);
+        let a = simulate_glitch_power(&m, &lib, &env, &[0.5; 3], 500, 5, 1.0, 1);
+        let b = simulate_glitch_power(&m, &lib, &env, &[0.5; 3], 500, 5, 1.0, 1);
         assert_eq!(a, b);
     }
 
     #[test]
+    fn glitch_power_thread_invariant() {
+        let (m, lib) = mapped(SAMPLE, &[0.4, 0.5, 0.6], &MapOptions::power());
+        let env = PowerEnv::new();
+        // Off-multiple pair counts stress the range partitioning.
+        for vectors in [2usize, 5, 500, 601] {
+            let base = simulate_glitch_power(&m, &lib, &env, &[0.4, 0.5, 0.6], vectors, 9, 1.0, 1);
+            for threads in [2usize, 4, 7] {
+                let par = simulate_glitch_power(
+                    &m,
+                    &lib,
+                    &env,
+                    &[0.4, 0.5, 0.6],
+                    vectors,
+                    9,
+                    1.0,
+                    threads,
+                );
+                assert_eq!(base, par, "{vectors} vectors, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
     fn constant_inputs_no_glitch_power() {
-        use rand::SeedableRng;
         let (m, lib) = mapped(SAMPLE, &[1.0, 1.0, 1.0], &MapOptions::power());
         let env = PowerEnv::new();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let g = simulate_glitch_power(&m, &lib, &env, &[1.0; 3], 100, &mut rng, 1.0);
+        let g = simulate_glitch_power(&m, &lib, &env, &[1.0; 3], 100, 7, 1.0, 2);
         assert_eq!(g.power_uw, 0.0);
     }
 

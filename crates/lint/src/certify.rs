@@ -10,6 +10,7 @@
 //! Drop-in wrappers are provided for every `logicopt` pass and for
 //! network decomposition; `flow` routes through them.
 
+#[cfg(debug_assertions)]
 use crate::{lint_decomposed, lint_network, LintConfig};
 use lowpower_core::decomp::{DecompOptions, DecomposedNetwork};
 use netlist::Network;
@@ -112,7 +113,9 @@ pub fn decompose_network(net: &Network, opts: &DecompOptions) -> DecomposedNetwo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netlist::{parse_blif, Sop};
+    use netlist::parse_blif;
+    #[cfg(debug_assertions)]
+    use netlist::Sop;
 
     fn net() -> Network {
         parse_blif(

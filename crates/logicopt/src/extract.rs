@@ -8,7 +8,7 @@
 use crate::division::divide;
 use crate::kernels::kernels;
 use netlist::{Cube, Lit, Network, NodeId, Sop};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A literal over a *network node* rather than a local position.
 type GLit = (NodeId, bool);
@@ -204,7 +204,10 @@ fn best_divisor(net: &Network, weights: Option<&[f64]>) -> Option<(Vec<GCube>, f
     let gcovers: HashMap<NodeId, Vec<GCube>> =
         ids.iter().map(|&id| (id, to_gcubes(net, id))).collect();
 
-    let mut candidates: HashMap<Vec<GCube>, usize> = HashMap::new();
+    // BTreeMap, not HashMap: the scoring loop below keeps the first-seen
+    // candidate on ties, so the iteration order must not depend on the
+    // process's hash seeds.
+    let mut candidates: BTreeMap<Vec<GCube>, usize> = BTreeMap::new();
 
     // Kernel candidates.
     for &id in &ids {
@@ -277,8 +280,11 @@ fn best_divisor(net: &Network, weights: Option<&[f64]>) -> Option<(Vec<GCube>, f
         };
         let div_cost: f64 = div_lits.iter().sum();
         let mut saving_total = 0.0;
-        for cubes in gcovers.values() {
-            saving_total += division_saving_weighted(cubes, &div, &weight_of, divisor_weight);
+        // Sum in node order: float addition is not associative, and hash
+        // order would let rounding perturb the candidate ranking.
+        for &id in &ids {
+            saving_total +=
+                division_saving_weighted(&gcovers[&id], &div, &weight_of, divisor_weight);
         }
         let net_saving = saving_total - div_cost;
         if net_saving > 0.0 && best.as_ref().is_none_or(|(_, s)| net_saving > *s) {

@@ -1,0 +1,259 @@
+//! Deterministic scoped-thread parallelism for the synthesis workspace.
+//!
+//! Registry thread pools are unavailable offline, so this crate provides
+//! the small subset the workspace needs on top of [`std::thread::scope`]:
+//!
+//! * [`scope_map`] — map a function over a slice on `threads` workers with
+//!   self-scheduled work pickup, returning results **in input order**;
+//! * [`chunked_reduce`] — map over chunk indices in parallel, then fold the
+//!   per-chunk accumulators **in chunk order**;
+//! * [`split_ranges`] — partition an index space into contiguous ranges for
+//!   chunk-level granularity control;
+//! * [`split_seed`] — SplitMix64-derived per-chunk seeds from one master
+//!   seed, so randomized kernels produce identical streams no matter how
+//!   chunks are scheduled across threads.
+//!
+//! # Determinism contract
+//!
+//! Every function here guarantees that its *result* depends only on the
+//! inputs — never on the thread count, the scheduling order, or timing.
+//! Callers uphold their half by making the per-item work a pure function
+//! of the item (seeding any randomness via [`split_seed`] from the item
+//! index). Under that discipline, `threads = 1` and `threads = N` produce
+//! bit-identical results, which `tests/par_determinism.rs` checks for the
+//! whole flow.
+//!
+//! # Thread-count resolution
+//!
+//! [`thread_count`] resolves, in order: an explicit request (e.g. a
+//! `--threads` flag), the `PAR_THREADS` environment variable, and the
+//! machine's available parallelism.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a worker count: `requested` (if `Some` and non-zero), else the
+/// `PAR_THREADS` environment variable (if set to a positive integer), else
+/// [`std::thread::available_parallelism`], else 1.
+pub fn thread_count(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        if n > 0 {
+            return n;
+        }
+    }
+    if let Ok(v) = std::env::var("PAR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `threads` workers; `results[i]` is
+/// `f(i, &items[i])` regardless of which worker computed it.
+///
+/// Workers self-schedule items through an atomic cursor, so an expensive
+/// item does not serialize the rest of the slice behind it. With
+/// `threads <= 1` (or fewer than two items) everything runs inline on the
+/// caller's thread — no spawn overhead on single-core hosts.
+///
+/// # Panics
+/// Propagates the first worker panic after all workers finish.
+pub fn scope_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(n);
+    let cursor = AtomicUsize::new(0);
+    let mut harvest: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            harvest.push(h.join().expect("worker panicked"));
+        }
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in harvest.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// Map `chunk` over `0..chunks` in parallel, then fold the per-chunk
+/// accumulators **in chunk order** with `fold`. Returns `None` when
+/// `chunks == 0`.
+///
+/// The ordered fold is what makes floating-point accumulation (and any
+/// other non-commutative combination) independent of the thread count.
+pub fn chunked_reduce<A, M, F>(threads: usize, chunks: usize, chunk: M, mut fold: F) -> Option<A>
+where
+    A: Send,
+    M: Fn(usize) -> A + Sync,
+    F: FnMut(&mut A, A),
+{
+    let indices: Vec<usize> = (0..chunks).collect();
+    let mut results = scope_map(threads, &indices, |_, &i| chunk(i)).into_iter();
+    let mut acc = results.next()?;
+    for a in results {
+        fold(&mut acc, a);
+    }
+    Some(acc)
+}
+
+/// Partition `0..n` into at most `parts` contiguous, non-empty ranges of
+/// near-equal length, in ascending order. Returns an empty vector for
+/// `n == 0`.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Derive an independent per-chunk seed from a master seed and a chunk
+/// index (SplitMix64 finalizer over a golden-ratio index stride).
+///
+/// The scheme gives every chunk its own well-mixed stream: kernels seed a
+/// fresh generator per chunk instead of sharing one sequential stream, so
+/// the vectors a chunk sees depend only on `(master, index)` — not on how
+/// many chunks ran before it on the same thread.
+pub fn split_seed(master: u64, index: u64) -> u64 {
+    let z = master.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    splitmix64_finalize(z)
+}
+
+fn splitmix64_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = scope_map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scope_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(scope_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(scope_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn scope_map_uneven_work_stays_ordered() {
+        // Early items take longest: self-scheduling finishes them out of
+        // order, but results must still land in input order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = scope_map(4, &items, |_, &x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x * x
+        });
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_reduce_folds_in_chunk_order() {
+        // Non-commutative fold (string concat) detects any reordering.
+        for threads in [1, 3, 7] {
+            let s = chunked_reduce(
+                threads,
+                9,
+                |i| i.to_string(),
+                |acc: &mut String, a| acc.push_str(&a),
+            )
+            .unwrap();
+            assert_eq!(s, "012345678");
+        }
+        assert!(chunked_reduce(2, 0, |i| i, |_, _| ()).is_none());
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for n in [0usize, 1, 5, 64, 100, 101] {
+            for parts in [1usize, 2, 3, 7, 200] {
+                let rs = split_ranges(n, parts);
+                let total: usize = rs.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n);
+                assert!(rs.iter().all(|r| !r.is_empty()));
+                let mut expect = 0;
+                for r in &rs {
+                    assert_eq!(r.start, expect);
+                    expect = r.end;
+                }
+                if n > 0 {
+                    assert!(rs.len() <= parts.max(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_seed_distinct_and_stable() {
+        let a = split_seed(42, 0);
+        assert_eq!(a, split_seed(42, 0));
+        assert_ne!(a, split_seed(42, 1));
+        assert_ne!(a, split_seed(43, 0));
+        // no trivial collisions over a small window
+        let mut seen: Vec<u64> = (0..1000).map(|i| split_seed(0xC0FFEE, i)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 1000);
+    }
+
+    #[test]
+    fn thread_count_explicit_wins() {
+        assert_eq!(thread_count(Some(3)), 3);
+        assert!(thread_count(None) >= 1);
+    }
+}

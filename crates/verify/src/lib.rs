@@ -80,6 +80,10 @@ pub struct VerifyOptions {
     pub seed: u64,
     /// BDD manager node budget before falling back to simulation.
     pub bdd_node_budget: usize,
+    /// Worker threads for the simulation backend (1 = serial). The
+    /// verdict — including which counterexample is reported — is
+    /// identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for VerifyOptions {
@@ -90,6 +94,7 @@ impl Default for VerifyOptions {
             sim_words: 256,
             seed: 0x5EED_CEC5,
             bdd_node_budget: 2_000_000,
+            threads: 1,
         }
     }
 }
@@ -106,6 +111,12 @@ impl VerifyOptions {
     /// Same options with a different output policy.
     pub fn with_outputs(mut self, outputs: OutputPolicy) -> VerifyOptions {
         self.outputs = outputs;
+        self
+    }
+
+    /// Same options with a different simulation thread count.
+    pub fn with_threads(mut self, threads: usize) -> VerifyOptions {
+        self.threads = threads;
         self
     }
 }

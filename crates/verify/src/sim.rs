@@ -5,6 +5,13 @@
 //! [`Network::eval_words`] pass evaluates all of them. Both networks see
 //! identical values on same-named inputs, so any differing output bit is a
 //! genuine counterexample.
+//!
+//! Word `w` of the vector stream is a pure function of `(opts.seed, w)`
+//! (SplitMix-derived per-word seed), so the words can be simulated in any
+//! order — and on any number of threads — without changing which vectors
+//! are applied. The reported counterexample is the first failing vector in
+//! stream order (lowest word, outputs scanned in alignment order, lowest
+//! failing lane), which is likewise thread-invariant.
 
 use crate::align::Alignment;
 use crate::{cex, Backend, EquivReport, Verdict, VerifyError, VerifyOptions};
@@ -13,6 +20,21 @@ use netlist::Network;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+/// Fill `union` with word `w` of the seeded stream.
+fn fill_word(union: &mut [u64], seed: u64, w: usize) {
+    let mut rng = SmallRng::seed_from_u64(par::split_seed(seed, w as u64));
+    for word in union.iter_mut() {
+        *word = bernoulli_word(&mut rng, 0.5);
+    }
+    if w == 0 {
+        // Deterministic corner coverage: lane 0 is the all-zeros
+        // vector, lane 1 the all-ones vector.
+        for word in union.iter_mut() {
+            *word = (*word & !0b01) | 0b10;
+        }
+    }
+}
+
 pub(crate) fn run(
     a: &Network,
     b: &Network,
@@ -20,33 +42,32 @@ pub(crate) fn run(
     opts: &VerifyOptions,
     bdd_fallback: bool,
 ) -> Result<Verdict, VerifyError> {
-    let mut rng = SmallRng::seed_from_u64(opts.seed);
     let words = opts.sim_words.max(1);
-    let mut union = vec![0u64; al.names.len()];
-    for w in 0..words {
-        for word in union.iter_mut() {
-            *word = bernoulli_word(&mut rng, 0.5);
-        }
-        if w == 0 {
-            // Deterministic corner coverage: lane 0 is the all-zeros
-            // vector, lane 1 the all-ones vector.
-            for word in union.iter_mut() {
-                *word = (*word & !0b01) | 0b10;
+    let threads = opts.threads.max(1);
+    // A few chunks per worker smooths out uneven cone sizes; each chunk
+    // reports its first failing word, and chunks cover ascending
+    // word ranges, so the first hit in chunk order is the global first.
+    let ranges = par::split_ranges(words, threads * 4);
+    let hits: Vec<Option<Vec<bool>>> = par::scope_map(threads, &ranges, |_, range| {
+        let mut union = vec![0u64; al.names.len()];
+        for w in range.clone() {
+            fill_word(&mut union, opts.seed, w);
+            let ao = a.eval_outputs_words(&al.a_inputs(&union));
+            let bo = b.eval_outputs_words(&al.b_inputs(&union));
+            for (_, ai, bi) in &al.outputs {
+                let diff = ao[*ai] ^ bo[*bi];
+                if diff != 0 {
+                    let lane = diff.trailing_zeros();
+                    return Some(union.iter().map(|&word| word >> lane & 1 == 1).collect());
+                }
             }
         }
-        let ao = a.eval_outputs_words(&al.a_inputs(&union));
-        let bo = b.eval_outputs_words(&al.b_inputs(&union));
-        for (_, ai, bi) in &al.outputs {
-            let diff = ao[*ai] ^ bo[*bi];
-            if diff != 0 {
-                let lane = diff.trailing_zeros();
-                let assignment: Vec<bool> =
-                    union.iter().map(|&word| word >> lane & 1 == 1).collect();
-                return Ok(Verdict::NotEquivalent(Box::new(cex::build(
-                    a, b, al, assignment,
-                ))));
-            }
-        }
+        None
+    });
+    if let Some(assignment) = hits.into_iter().flatten().next() {
+        return Ok(Verdict::NotEquivalent(Box::new(cex::build(
+            a, b, al, assignment,
+        ))));
     }
     Ok(Verdict::Equivalent(EquivReport {
         backend: Backend::Sim,

@@ -38,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mapped = map_network(&aig, &lib, &MapOptions::power())?;
     let env = PowerEnv::new();
     let zero = evaluate(&mapped, &lib, &env, TransitionModel::StaticCmos, 1.0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let glitch = simulate_glitch_power(&mapped, &lib, &env, &pi_probs, 5_000, &mut rng, 1.0);
+    let glitch = simulate_glitch_power(&mapped, &lib, &env, &pi_probs, 5_000, 7, 1.0, 1);
 
     println!(
         "\nmapped: {} gates, area {:.1}, delay {:.2} ns",

@@ -17,7 +17,6 @@ use lowpower_core::decomp::{DecompOptions, DecompStyle};
 use lowpower_core::map::{map_network, MapObjective, MapOptions, SubjectAig};
 use lowpower_core::power::{evaluate, MappedReport};
 use netlist::Network;
-use rand::SeedableRng;
 use std::fmt;
 use verify::{check_equiv, OutputPolicy, Verdict, VerifyLevel, VerifyOptions};
 
@@ -105,6 +104,10 @@ pub struct FlowConfig {
     pub sim_vectors: usize,
     /// Seed for the glitch simulation.
     pub sim_seed: u64,
+    /// Worker threads for the glitch simulation (1 = serial). The result
+    /// is identical at every thread count; outer drivers that already
+    /// parallelize across circuits or methods should leave this at 1.
+    pub sim_threads: usize,
     /// Post-pass equivalence checking: every transforming stage
     /// (optimize, decompose, map) is checked against its input at this
     /// level. [`VerifyLevel::Off`] skips the checks entirely.
@@ -129,6 +132,7 @@ impl Default for FlowConfig {
             use_correlations: false,
             sim_vectors: 600,
             sim_seed: 0xC0FFEE,
+            sim_threads: 1,
             verify: VerifyLevel::Off,
             lint: LintLevel::Off,
         }
@@ -430,15 +434,15 @@ pub fn run_method(
         )?;
     }
     let report = evaluate(&mapped, lib, &cfg.env, cfg.model, cfg.po_load);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.sim_seed);
     let glitch = lowpower_core::power::simulate_glitch_power(
         &mapped,
         lib,
         &cfg.env,
         &pi_probs,
         cfg.sim_vectors,
-        &mut rng,
+        cfg.sim_seed,
         cfg.po_load,
+        cfg.sim_threads,
     );
     Ok(MethodResult {
         report,

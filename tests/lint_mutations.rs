@@ -362,9 +362,9 @@ fn clean_curve_baseline_is_clean() {
 
 #[test]
 fn crv001_fires_on_non_increasing_arrival() {
-    let mut c = Curve::new(); // push() skips finalize's sort + prune
-    c.push(point(2.0, 5.0));
-    c.push(point(2.0, 3.0));
+    let mut c = Curve::new(); // bypass push()'s dominance pruning
+    c.push_unpruned_for_test(point(2.0, 5.0));
+    c.push_unpruned_for_test(point(2.0, 3.0));
     let report = lint_curve(&c, &cfg());
     assert_fires(&report, "CRV001");
     assert!(report.has_errors());
@@ -373,8 +373,8 @@ fn crv001_fires_on_non_increasing_arrival() {
 #[test]
 fn crv002_fires_on_dominated_point() {
     let mut c = Curve::new();
-    c.push(point(1.0, 5.0));
-    c.push(point(2.0, 5.0)); // slower and no cheaper: dominated
+    c.push_unpruned_for_test(point(1.0, 5.0));
+    c.push_unpruned_for_test(point(2.0, 5.0)); // slower and no cheaper: dominated
     let report = lint_curve(&c, &cfg());
     assert_fires(&report, "CRV002");
     assert!(report.has_errors());
@@ -383,7 +383,7 @@ fn crv002_fires_on_dominated_point() {
 #[test]
 fn crv003_fires_on_non_finite_point() {
     let mut c = Curve::new();
-    c.push(point(f64::NAN, 5.0));
+    c.push_unpruned_for_test(point(f64::NAN, 5.0));
     let report = lint_curve(&c, &cfg());
     assert_fires(&report, "CRV003");
     assert!(report.has_errors());
