@@ -38,4 +38,22 @@ for f in examples/blif/*.blif; do
     cargo run --release --quiet -- lint --blif "$f" --lint=deny
 done
 
+echo "==> obs gate (JSONL validity, stripped-snapshot determinism, chrome trace)"
+cargo run --release --quiet -- synth --blif examples/blif/fulladd.blif \
+    --obs=json --obs-out - 2> /dev/null > "$TMP/obs_a.jsonl"
+cargo run --release --quiet -- synth --blif examples/blif/fulladd.blif \
+    --obs=json --obs-out - 2> /dev/null > "$TMP/obs_b.jsonl"
+cargo run --release --quiet -- obs-check --file "$TMP/obs_a.jsonl"
+cargo run --release --quiet -- obs-check --file "$TMP/obs_a.jsonl" --strip \
+    > "$TMP/obs_a.stripped"
+cargo run --release --quiet -- obs-check --file "$TMP/obs_b.jsonl" --strip \
+    > "$TMP/obs_b.stripped"
+cmp "$TMP/obs_a.stripped" "$TMP/obs_b.stripped"
+cargo run --release --quiet -- synth --blif examples/blif/fulladd.blif \
+    --obs=chrome --obs-out "$TMP/obs.trace.json" > /dev/null
+cargo run --release --quiet -- obs-check --file "$TMP/obs.trace.json" --chrome
+
+echo "==> obs disabled-overhead smoke (criterion micro-bench)"
+cargo bench --quiet -p lowpower-bench --bench obs_overhead > /dev/null
+
 echo "CI OK"

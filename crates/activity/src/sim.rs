@@ -154,6 +154,7 @@ fn simulate_word_range(
 ) -> WordRangeStats {
     let arena = net.arena_len();
     let words = vectors.div_ceil(64);
+    obs::counter!("activity.sim.words", range.len() as u64);
     let mut stats = WordRangeStats {
         ones: vec![0; arena],
         transitions: vec![0; arena],

@@ -89,11 +89,18 @@ impl BddManager {
             return lo;
         }
         if let Some(&n) = self.unique.get(&(var, lo, hi)) {
+            obs::counter!("bdd.unique.hit");
             return n;
         }
+        obs::counter!("bdd.unique.miss");
+        let capacity = self.unique.capacity();
         let id = Bdd(self.nodes.len() as u32);
         self.nodes.push(Node { var, lo, hi });
         self.unique.insert((var, lo, hi), id);
+        if self.unique.capacity() != capacity {
+            obs::counter!("bdd.unique.resize");
+        }
+        obs::gauge!("bdd.nodes.high_water", self.nodes.len() as u64);
         id
     }
 
@@ -126,8 +133,10 @@ impl BddManager {
             return f;
         }
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            obs::counter!("bdd.ite.hit");
             return r;
         }
+        obs::counter!("bdd.ite.miss");
         let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
@@ -135,7 +144,11 @@ impl BddManager {
         let lo = self.ite(f0, g0, h0);
         let hi = self.ite(f1, g1, h1);
         let r = self.mk(top, lo, hi);
+        let capacity = self.ite_cache.capacity();
         self.ite_cache.insert((f, g, h), r);
+        if self.ite_cache.capacity() != capacity {
+            obs::counter!("bdd.ite.resize");
+        }
         r
     }
 

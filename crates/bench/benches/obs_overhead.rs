@@ -1,0 +1,86 @@
+//! Overhead of the obs macros when no session is recording — the price
+//! every instrumented hot loop pays on ordinary (non-`--obs`) runs. The
+//! disabled macros must stay within noise of the bare loop; the enabled
+//! variants quantify what `--obs` costs when it *is* on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const ITERS: u64 = 10_000;
+
+fn bench_disabled(c: &mut Criterion) {
+    assert!(!obs::enabled(), "no session may be live in this group");
+    let mut g = c.benchmark_group("obs_disabled_10k");
+    g.bench_function("baseline_sum", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("counter", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                obs::counter!("bench.obs.counter");
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("hist", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                obs::hist!("bench.obs.hist", i);
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("span", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                let _s = obs::span!("bench.obs.span");
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_enabled_10k");
+    g.bench_function("counter", |b| {
+        b.iter(|| {
+            let session = obs::Session::start();
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                obs::counter!("bench.obs.counter");
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(session.finish());
+            black_box(acc)
+        })
+    });
+    g.bench_function("span", |b| {
+        b.iter(|| {
+            let session = obs::Session::start();
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                let _s = obs::span!("bench.obs.span");
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(session.finish());
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

@@ -12,16 +12,19 @@
 //!   --circuits a,b,c  subset of suite circuits (default: a small/medium mix)
 //!   --threads N       parallel thread count to compare against serial
 //!                     (default: PAR_THREADS or the machine's cores)
-//!   --out FILE        output JSON path (default: BENCH_pr3.json)
+//!   --out FILE        output JSON path (default: BENCH_pr4.json)
 //!   --check           also assert that the parallel kernels produce
 //!                     results identical to serial, exit 1 on divergence
 //!
 //! JSON schema: an array of
-//!   `{"circuit", "method", "stage", "wall_ms", "threads", "speedup"}`
+//!   `{"circuit", "method", "stage", "wall_ms", "threads", "speedup",
+//!     "counters"}`
 //! where `speedup` is serial wall time over this entry's wall time
 //! (1.0 for the serial entries themselves). Stages that take no thread
 //! parameter (optimize, decompose, map) are recorded once with
-//! `"threads": 1`.
+//! `"threads": 1`. `counters` is the stage's deterministic obs counter
+//! snapshot (one clean run, so work metrics ride alongside the wall
+//! times); the PR 3 fields are unchanged.
 
 use activity::{analyze, sim::simulate_activity_seeded, TransitionModel};
 use genlib::builtin::lib2_like;
@@ -47,6 +50,9 @@ struct Entry {
     wall_ms: f64,
     threads: usize,
     speedup: f64,
+    /// Deterministic obs counter snapshot for one run of this stage,
+    /// rendered as a JSON object (thread-count invariant by contract).
+    counters: String,
 }
 
 /// Wall time of `f` in milliseconds, best of two runs (the second run sees
@@ -61,11 +67,21 @@ fn time_ms<R>(mut f: impl FnMut() -> R) -> f64 {
     best
 }
 
+/// Counter snapshot of exactly one run of `f`, as a JSON object string.
+/// Kept separate from [`time_ms`] so the counts cover a single clean run
+/// (the timing loop would double them) and the timed runs stay free of
+/// recording overhead.
+fn stage_counters(mut f: impl FnMut()) -> String {
+    let session = obs::Session::start();
+    f();
+    session.finish().counters_json()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut circuits: Option<Vec<String>> = None;
     let mut threads: Option<usize> = None;
-    let mut out = "BENCH_pr3.json".to_string();
+    let mut out = "BENCH_pr4.json".to_string();
     let mut check = false;
     let mut i = 0;
     while i < args.len() {
@@ -102,7 +118,7 @@ fn main() {
 
     for name in &selected {
         let net = benchgen::suite_circuit(name);
-        let mut push = |stage, wall_ms, threads, speedup| {
+        let mut push = |stage, wall_ms, threads, speedup, counters: &str| {
             entries.push(Entry {
                 circuit: name.clone(),
                 method: method.to_string(),
@@ -110,12 +126,22 @@ fn main() {
                 wall_ms,
                 threads,
                 speedup,
+                counters: counters.to_string(),
             });
         };
 
         // Serial stages: timed once.
         let optimized = optimize(&net);
-        push("optimize", time_ms(|| optimize(&net)), 1, 1.0);
+        let optimize_counters = stage_counters(|| {
+            optimize(&net);
+        });
+        push(
+            "optimize",
+            time_ms(|| optimize(&net)),
+            1,
+            1.0,
+            &optimize_counters,
+        );
 
         let dopts = DecompOptions {
             style: method.decomp_style(),
@@ -125,11 +151,15 @@ fn main() {
             use_correlations: false,
         };
         let decomposed = decompose_network(&optimized, &dopts);
+        let decompose_counters = stage_counters(|| {
+            decompose_network(&optimized, &dopts);
+        });
         push(
             "decompose",
             time_ms(|| decompose_network(&optimized, &dopts)),
             1,
             1.0,
+            &decompose_counters,
         );
 
         let (mappable, _) = strip_constant_outputs(&decomposed.network);
@@ -141,11 +171,15 @@ fn main() {
             ..MapOptions::power()
         };
         let mapped = map_network(&aig, &lib, &mopts).expect("maps");
+        let map_counters = stage_counters(|| {
+            map_network(&aig, &lib, &mopts).expect("maps");
+        });
         push(
             "map",
             time_ms(|| map_network(&aig, &lib, &mopts).expect("maps")),
             1,
             1.0,
+            &map_counters,
         );
 
         // Threaded kernels: timed at 1 and at `par_threads`.
@@ -190,11 +224,21 @@ fn main() {
             ),
         ];
         for (stage, mut kernel) in kernels {
+            // One counter capture covers serial and parallel entries: the
+            // snapshot is thread-count invariant (the determinism
+            // contract, pinned by tests/obs_determinism.rs).
+            let counters = stage_counters(|| kernel(1));
             let serial_ms = time_ms(|| kernel(1));
-            push(stage, serial_ms, 1, 1.0);
+            push(stage, serial_ms, 1, 1.0, &counters);
             if par_threads > 1 {
                 let par_ms = time_ms(|| kernel(par_threads));
-                push(stage, par_ms, par_threads, serial_ms / par_ms.max(1e-9));
+                push(
+                    stage,
+                    par_ms,
+                    par_threads,
+                    serial_ms / par_ms.max(1e-9),
+                    &counters,
+                );
             }
         }
 
@@ -236,7 +280,7 @@ fn main() {
                 diverged = true;
             }
         }
-        eprintln!("done: {name}");
+        obs::note!("done: {name}");
     }
 
     let json = render_json(&entries);
@@ -257,13 +301,15 @@ fn render_json(entries: &[Entry]) -> String {
     for (i, e) in entries.iter().enumerate() {
         s.push_str(&format!(
             "  {{\"circuit\": \"{}\", \"method\": \"{}\", \"stage\": \"{}\", \
-             \"wall_ms\": {:.3}, \"threads\": {}, \"speedup\": {:.3}}}{}\n",
+             \"wall_ms\": {:.3}, \"threads\": {}, \"speedup\": {:.3}, \
+             \"counters\": {}}}{}\n",
             e.circuit,
             e.method,
             e.stage,
             e.wall_ms,
             e.threads,
             e.speedup,
+            e.counters,
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }

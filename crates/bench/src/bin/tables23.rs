@@ -88,7 +88,7 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(ci, name)| {
-            eprintln!("done: {name}");
+            obs::note!("done: {name}");
             SuiteRow {
                 name: name.to_string(),
                 methods: results[ci * Method::ALL.len()..(ci + 1) * Method::ALL.len()].to_vec(),
@@ -188,6 +188,7 @@ fn rerun_with(
         decomp_switching: sw,
         mapped,
         lint_findings: Vec::new(),
+        obs: None,
     }
 }
 

@@ -36,6 +36,7 @@ pub fn huffman_tree(probs: &[f64], obj: DecompObjective) -> DecompTree {
             }
         }
         let b = items.swap_remove(i1);
+        obs::counter!("decomp.huffman.merges");
         items.push(DecompTree::merge(a, b, obj));
     }
     items.pop().expect("one tree remains")

@@ -154,6 +154,7 @@ fn bounded_decompose(
         if current.depth <= required {
             break;
         }
+        obs::counter!("decomp.slack.iterations");
         let zeros = vec![0i64; current.network.inputs().len()];
         let reqs = vec![required; current.network.outputs().len()];
         let slack = unit_slacks(&current.network, &zeros, &reqs);
@@ -181,6 +182,7 @@ fn bounded_decompose(
             }
         }
         let Some((_, _, n)) = cand else { break };
+        obs::counter!("decomp.redecomp.rounds");
         redecomposed.insert(n);
         let root = current
             .network
@@ -353,6 +355,7 @@ fn build(
     }
     out.check()
         .expect("decomposed network must be structurally sound");
+    obs::counter!("decomp.nodes.emitted", out.logic_ids().count() as u64);
     let depth = netlist::traversal::depth(&out);
     DecomposedNetwork {
         network: out,

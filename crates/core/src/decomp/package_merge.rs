@@ -64,6 +64,7 @@ pub fn package_merge_levels(weights: &[f64], max_level: usize) -> Option<Vec<usi
         while let (Some(a), Some(b)) = (it.next(), it.next()) {
             let mut leaves = a.leaves;
             leaves.extend(b.leaves);
+            obs::counter!("decomp.package_merge.packages");
             packaged.push(Item {
                 weight: a.weight + b.weight,
                 leaves,

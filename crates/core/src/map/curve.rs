@@ -96,6 +96,7 @@ impl Curve {
         // costs before `pos` decrease, so its cost is the minimum so far.
         if let Some(prev) = pos.checked_sub(1).map(|i| &self.points[i]) {
             if p.cost >= prev.cost - 1e-12 {
+                obs::counter!("map.curve.dominated_drops");
                 return;
             }
         }
@@ -106,6 +107,7 @@ impl Curve {
         while end < self.points.len() && self.points[end].cost >= p.cost - 1e-12 {
             end += 1;
         }
+        obs::counter!("map.curve.pushes");
         if end == pos {
             self.points.insert(pos, p);
         } else {

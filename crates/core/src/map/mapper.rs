@@ -182,6 +182,7 @@ pub fn map_network(
     let mut cands: Vec<f64> = Vec::new();
 
     // ---- postorder: curve computation -------------------------------
+    let postorder_span = obs::span!("map.postorder");
     for idx in 0..aig.len() as u32 {
         let mut pos = Curve::new();
         let mut neg = Curve::new();
@@ -231,8 +232,11 @@ pub fn map_network(
             let name = format!("aig_node_{idx}");
             return Err(MapError::UnmappedOutput(name));
         }
+        obs::hist!("map.curve.points_after_prune", pos.points().len() as u64);
+        obs::hist!("map.curve.points_after_prune", neg.points().len() as u64);
         curves.push([pos, neg]);
     }
+    drop(postorder_span);
 
     // ---- required times ----------------------------------------------
     let fastest_of = |s: &Signal| -> Option<f64> {
@@ -248,6 +252,7 @@ pub fn map_network(
     let required = opts.required_time.unwrap_or(worst);
 
     // ---- preorder: gate selection under demands -----------------------
+    let preorder_span = obs::span!("map.preorder");
     let mut demands: HashMap<(u32, bool), Vec<Demand>> = HashMap::new();
     for (_, s) in aig.outputs() {
         demands.entry((s.node, s.compl)).or_default().push((
@@ -307,8 +312,10 @@ pub fn map_network(
         demands.remove(&(idx, false));
         demands.remove(&(idx, true));
     }
+    drop(preorder_span);
 
     // ---- netlist construction -----------------------------------------
+    let _build_span = obs::span!("map.build");
     let mut built: HashMap<(u32, bool), NetRef> = HashMap::new();
     let mut instances: Vec<MappedInstance> = Vec::new();
     fn build(

@@ -46,6 +46,7 @@ impl Matcher {
         let out = &mut self.out;
         let bindings = &mut self.bindings;
         for pat in ps.patterns() {
+            obs::counter!("map.matcher.attempts");
             // patterns are independent; bindings reset per pattern
             bindings.clear();
             bindings.resize(pat.pin_count, None);
@@ -59,6 +60,7 @@ impl Matcher {
                         pin_bindings: b.iter().map(|s| s.expect("checked")).collect(),
                     };
                     if !out.contains(&m) {
+                        obs::counter!("map.matcher.matches");
                         out.push(m);
                     }
                 }

@@ -157,6 +157,9 @@ impl GlitchCtx<'_> {
         if range.is_empty() {
             return transitions;
         }
+        // Pair and event tallies are per-range sums, so the totals are
+        // invariant under any partition of the pair space (thread counts).
+        obs::counter!("power.glitch.pairs", range.len() as u64);
         // femtosecond integer timestamps keep the heap totally ordered
         let to_fs = |t_ns: f64| -> u64 { (t_ns * 1.0e6) as u64 };
         let event_cap = 200 * self.n_net; // runaway guard (oscillation is
@@ -196,6 +199,7 @@ impl GlitchCtx<'_> {
             // make sure the state is fully settled before the next pair
             cur = self.eval_settled(&next);
         }
+        obs::counter!("power.glitch.events", transitions.iter().sum::<u64>());
         transitions
     }
 }

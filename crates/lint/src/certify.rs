@@ -23,10 +23,12 @@ use netlist::Network;
 /// network) or if the pass introduces any (the pass is buggy). Release
 /// builds never lint and never panic.
 pub fn certified_pass<R>(
-    label: &str,
+    label: &'static str,
     net: &mut Network,
     pass: impl FnOnce(&mut Network) -> R,
 ) -> R {
+    let _span = obs::span!(label);
+    obs::counter!("logicopt.pass.runs");
     #[cfg(debug_assertions)]
     {
         let before = lint_network(net, &LintConfig::new());
@@ -46,7 +48,6 @@ pub fn certified_pass<R>(
             after.render_text()
         );
     }
-    let _ = label;
     result
 }
 
@@ -87,6 +88,7 @@ pub fn rugged_like(net: &mut Network) -> logicopt::ScriptReport {
 /// In debug builds, panics when either side carries `Error`-severity
 /// findings; see [`certified_pass`].
 pub fn decompose_network(net: &Network, opts: &DecompOptions) -> DecomposedNetwork {
+    let _span = obs::span!("decompose");
     #[cfg(debug_assertions)]
     {
         let before = lint_network(net, &LintConfig::new());

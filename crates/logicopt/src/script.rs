@@ -26,7 +26,8 @@ pub struct ScriptReport {
 pub fn rugged_like(net: &mut Network) -> ScriptReport {
     let literals_before = net.literal_count();
     let nodes_before = net.logic_count();
-    for _ in 0..2 {
+    for round in 0..2 {
+        let _round = obs::span!("rugged.round", "{}", round + 1);
         sweep(net);
         simplify_network(net);
         eliminate(net, -1);

@@ -1,0 +1,251 @@
+//! Strict validators for the machine sinks, plus timing-stripping for
+//! determinism diffs. Used by `tests/obs_determinism.rs`, the
+//! `lowpower obs-check` subcommand, and the `ci.sh` obs gate.
+
+pub use crate::json::{parse_json, Json};
+
+/// Object keys that carry wall-time (non-deterministic) data in any sink.
+pub const TIMING_KEYS: &[&str] = &["ts_ns", "total_ns", "ts", "dur_ns", "wall_ms"];
+
+/// Validate a JSONL event stream as written by
+/// [`Report::render_jsonl`](crate::Report::render_jsonl):
+///
+/// * every non-empty line parses as strict JSON and is an object with a
+///   `type` of `B`, `E`, `note`, or `snapshot`;
+/// * per thread, `B`/`E` events balance and `ts_ns` never decreases in
+///   file order;
+/// * exactly one `snapshot` object exists and it is the last line.
+///
+/// Returns the parsed snapshot object.
+///
+/// # Errors
+/// A description of the first violation, with its line number.
+pub fn check_jsonl(text: &str) -> Result<Json, String> {
+    let mut snapshot: Option<Json> = None;
+    let mut depth: Vec<(f64, i64)> = Vec::new(); // (last_ts, open_spans) per tid slot
+    let mut tids: Vec<f64> = Vec::new();
+    let slot = |tid: f64, tids: &mut Vec<f64>, depth: &mut Vec<(f64, i64)>| -> usize {
+        match tids.iter().position(|&t| t == tid) {
+            Some(i) => i,
+            None => {
+                tids.push(tid);
+                depth.push((f64::NEG_INFINITY, 0));
+                tids.len() - 1
+            }
+        }
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if snapshot.is_some() {
+            return Err(format!("line {n}: content after the snapshot line"));
+        }
+        let v = parse_json(line).map_err(|e| format!("line {n}: {e}"))?;
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {n}: missing `type`"))?
+            .to_string();
+        match ty.as_str() {
+            "B" | "E" | "note" => {
+                let tid = v
+                    .get("tid")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("line {n}: missing numeric `tid`"))?;
+                let ts = v
+                    .get("ts_ns")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("line {n}: missing numeric `ts_ns`"))?;
+                let i = slot(tid, &mut tids, &mut depth);
+                if ts < depth[i].0 {
+                    return Err(format!(
+                        "line {n}: ts_ns decreases on tid {tid} ({ts} < {})",
+                        depth[i].0
+                    ));
+                }
+                depth[i].0 = ts;
+                match ty.as_str() {
+                    "B" => {
+                        if v.get("name").and_then(Json::as_str).is_none() {
+                            return Err(format!("line {n}: B event without `name`"));
+                        }
+                        depth[i].1 += 1;
+                    }
+                    "E" => {
+                        depth[i].1 -= 1;
+                        if depth[i].1 < 0 {
+                            return Err(format!("line {n}: E without matching B on tid {tid}"));
+                        }
+                    }
+                    _ => {
+                        if v.get("text").and_then(Json::as_str).is_none() {
+                            return Err(format!("line {n}: note event without `text`"));
+                        }
+                    }
+                }
+            }
+            "snapshot" => {
+                for key in ["counters", "gauges", "hists", "spans"] {
+                    if v.get(key).is_none() {
+                        return Err(format!("line {n}: snapshot missing `{key}`"));
+                    }
+                }
+                snapshot = Some(v);
+            }
+            other => return Err(format!("line {n}: unknown event type `{other}`")),
+        }
+    }
+    for (i, &(_, open)) in depth.iter().enumerate() {
+        if open != 0 {
+            return Err(format!("tid {}: {open} span(s) never closed", tids[i]));
+        }
+    }
+    snapshot.ok_or_else(|| "no snapshot line".to_string())
+}
+
+/// Validate Chrome trace-event JSON as written by
+/// [`Report::render_chrome`](crate::Report::render_chrome):
+///
+/// * the whole input parses as strict JSON — either a bare event array or
+///   an object with a `traceEvents` array;
+/// * every event has `ph` ∈ {`B`, `E`, `i`}, numeric `ts`/`pid`/`tid`,
+///   and `B`/`i` events have a `name`;
+/// * per `tid`, `B`/`E` events balance (in array order) and `ts` never
+///   decreases.
+///
+/// # Errors
+/// A description of the first violation, with the event index.
+pub fn check_chrome(text: &str) -> Result<(), String> {
+    let v = parse_json(text)?;
+    let events = match (&v, v.get("traceEvents")) {
+        (_, Some(Json::Arr(events))) => events,
+        (Json::Arr(events), _) => events,
+        _ => return Err("expected a traceEvents array".to_string()),
+    };
+    let mut tids: Vec<f64> = Vec::new();
+    let mut state: Vec<(f64, i64)> = Vec::new(); // (last_ts, open) per tid
+    for (i, ev) in events.iter().enumerate() {
+        let field = |key: &str| -> Result<f64, String> {
+            ev.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {i}: missing numeric `{key}`"))
+        };
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing `ph`"))?;
+        if !matches!(ph, "B" | "E" | "i") {
+            return Err(format!("event {i}: unsupported phase `{ph}`"));
+        }
+        let ts = field("ts")?;
+        field("pid")?;
+        let tid = field("tid")?;
+        if matches!(ph, "B" | "i") && ev.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("event {i}: `{ph}` event without `name`"));
+        }
+        let slot = match tids.iter().position(|&t| t == tid) {
+            Some(s) => s,
+            None => {
+                tids.push(tid);
+                state.push((f64::NEG_INFINITY, 0));
+                tids.len() - 1
+            }
+        };
+        if ts < state[slot].0 {
+            return Err(format!(
+                "event {i}: ts decreases on tid {tid} ({ts} < {})",
+                state[slot].0
+            ));
+        }
+        state[slot].0 = ts;
+        match ph {
+            "B" => state[slot].1 += 1,
+            "E" => {
+                state[slot].1 -= 1;
+                if state[slot].1 < 0 {
+                    return Err(format!("event {i}: E without matching B on tid {tid}"));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (i, &(_, open)) in state.iter().enumerate() {
+        if open != 0 {
+            return Err(format!("tid {}: {open} B event(s) never closed", tids[i]));
+        }
+    }
+    Ok(())
+}
+
+/// Remove every wall-time field ([`TIMING_KEYS`]) from a parsed value and
+/// re-render it canonically. Applied to two runs' snapshots, the results
+/// must be byte-identical — that is the determinism contract.
+pub fn strip_timing(v: &Json) -> String {
+    let mut v = v.clone();
+    v.strip_keys(TIMING_KEYS);
+    v.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter, span, Session};
+
+    fn sample_report() -> crate::Report {
+        let s = Session::start();
+        {
+            let _a = span!("stage", "c{}", 1);
+            counter!("t.check.events", 5);
+            let _b = span!("kernel");
+        }
+        crate::note_line("progress".to_string());
+        s.finish()
+    }
+
+    #[test]
+    fn jsonl_sink_passes_checker() {
+        let r = sample_report();
+        let jsonl = r.render_jsonl();
+        let snap = check_jsonl(&jsonl).expect("valid JSONL");
+        assert!(snap.get("counters").is_some());
+        assert_eq!(strip_timing(&snap), strip_timing(&snap));
+    }
+
+    #[test]
+    fn chrome_sink_passes_checker() {
+        let r = sample_report();
+        check_chrome(&r.render_chrome()).expect("valid chrome trace");
+    }
+
+    #[test]
+    fn checker_rejects_broken_streams() {
+        // stray non-JSON line
+        assert!(check_jsonl("hello\n").is_err());
+        // unbalanced E
+        assert!(check_jsonl("{\"type\":\"E\",\"tid\":0,\"ts_ns\":1}\n").is_err());
+        // unclosed B (and no snapshot)
+        assert!(check_jsonl("{\"type\":\"B\",\"name\":\"x\",\"tid\":0,\"ts_ns\":1}\n").is_err());
+        // decreasing timestamps
+        let bad = "{\"type\":\"B\",\"name\":\"x\",\"tid\":0,\"ts_ns\":5}\n\
+                   {\"type\":\"E\",\"tid\":0,\"ts_ns\":4}\n";
+        assert!(check_jsonl(bad).is_err());
+        // chrome: E without B
+        assert!(
+            check_chrome("[{\"ph\":\"E\",\"name\":\"x\",\"ts\":1,\"pid\":1,\"tid\":0}]").is_err()
+        );
+        // chrome: decreasing ts
+        let bad = "[{\"ph\":\"B\",\"name\":\"x\",\"ts\":2,\"pid\":1,\"tid\":0},\
+                    {\"ph\":\"E\",\"name\":\"x\",\"ts\":1,\"pid\":1,\"tid\":0}]";
+        assert!(check_chrome(bad).is_err());
+    }
+
+    #[test]
+    fn snapshot_stripping_removes_only_timing() {
+        let r = sample_report();
+        let with = parse_json(&r.snapshot_json(true)).expect("valid");
+        let without = parse_json(&r.snapshot_json(false)).expect("valid");
+        assert_eq!(strip_timing(&with), without.render());
+    }
+}

@@ -1,0 +1,429 @@
+//! Strict hand-rolled JSON: escaping, a full parser, canonical
+//! re-rendering, and timing-field stripping.
+//!
+//! No serde offline, and the point of the checkers is to be *strict* —
+//! trailing commas, bare words, unterminated strings, or stray non-JSON
+//! output on stdout must all fail loudly. Numbers keep their raw source
+//! text so a parse → strip → render round trip of our own output is
+//! byte-stable.
+
+use std::fmt::Write as _;
+
+/// Escape a string for embedding in a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value. Object member order is preserved; numbers keep
+/// their source text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, as its raw (validated) source text.
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, members in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Render canonically (same escaping rules the sinks use, members in
+    /// stored order, numbers verbatim). Parse→render of sink output is
+    /// byte-stable.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s);
+        s
+    }
+
+    fn render_into(&self, s: &mut String) {
+        match self {
+            Json::Null => s.push_str("null"),
+            Json::Bool(true) => s.push_str("true"),
+            Json::Bool(false) => s.push_str("false"),
+            Json::Num(raw) => s.push_str(raw),
+            Json::Str(v) => {
+                s.push('"');
+                s.push_str(&escape_json(v));
+                s.push('"');
+            }
+            Json::Arr(items) => {
+                s.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    item.render_into(s);
+                }
+                s.push(']');
+            }
+            Json::Obj(members) => {
+                s.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push('"');
+                    s.push_str(&escape_json(k));
+                    s.push_str("\":");
+                    v.render_into(s);
+                }
+                s.push('}');
+            }
+        }
+    }
+
+    /// Recursively remove object members whose key is in `keys` (used to
+    /// strip wall-time fields before determinism diffs).
+    pub fn strip_keys(&mut self, keys: &[&str]) {
+        match self {
+            Json::Obj(members) => {
+                members.retain(|(k, _)| !keys.contains(&k.as_str()));
+                for (_, v) in members.iter_mut() {
+                    v.strip_keys(keys);
+                }
+            }
+            Json::Arr(items) => {
+                for item in items {
+                    item.strip_keys(keys);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parse exactly one JSON value spanning the whole input (strict: no
+/// trailing garbage, no trailing commas, no unquoted keys).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected byte `{}` at {}",
+                other as char, self.pos
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                // surrogate pair: expect \uXXXX low half
+                                if self.peek() != Some(b'\\') {
+                                    return Err("lone high surrogate".to_string());
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err("lone high surrogate".to_string());
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".to_string());
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| "invalid surrogate pair".to_string())?
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| format!("invalid codepoint {cp:#x}"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced pos already
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control byte {b:#x} in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(format!("bad number at byte {start}")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(format!("bad fraction at byte {}", self.pos));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(format!("bad exponent at byte {}", self.pos));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .to_string();
+        Ok(Json::Num(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_rerenders() {
+        let src = r#"{"a":[1,2.5,-3e2],"b":{"c":"x\ny","d":null},"e":true}"#;
+        let v = parse_json(src).unwrap();
+        assert_eq!(v.render(), src);
+        assert_eq!(v.get("e"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn rejects_sloppy_json() {
+        for bad in [
+            "{",
+            "[1,]",
+            "{\"a\":1,}",
+            "{'a':1}",
+            "{a:1}",
+            "[1] extra",
+            "01",
+            "1.",
+            "\"\\q\"",
+            "nul",
+            "\"unterminated",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip() {
+        let v = parse_json(r#""\u0041\u00e9\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé😀"));
+        assert!(parse_json(r#""\ud800""#).is_err());
+    }
+
+    #[test]
+    fn strip_keys_is_recursive() {
+        let mut v =
+            parse_json(r#"{"a":{"total_ns":1,"count":2},"b":[{"total_ns":3}],"total_ns":4}"#)
+                .unwrap();
+        v.strip_keys(&["total_ns"]);
+        assert_eq!(v.render(), r#"{"a":{"count":2},"b":[{}]}"#);
+    }
+}

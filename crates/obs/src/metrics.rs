@@ -1,0 +1,231 @@
+//! Counter / gauge / histogram storage.
+//!
+//! Each recording thread accumulates into a [`LocalMetrics`] keyed by the
+//! `&'static str` metric name with a cheap multiply-mix hasher (names are
+//! workspace literals, never attacker-controlled). When a thread leaves
+//! its session the local maps merge into the session's [`Metrics`] —
+//! `BTreeMap`s keyed by owned names, so every rendering is sorted and
+//! deterministic. All merge operations are commutative (sum, max,
+//! per-bucket sum), which is what makes the totals independent of thread
+//! count and scheduling.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`. `min`/`max`/`sum`/`count` are exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    buckets: [u64; Hist::BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; Hist::BUCKETS],
+        }
+    }
+}
+
+impl Hist {
+    /// Bucket 0 plus one bucket per possible `ilog2` value.
+    pub const BUCKETS: usize = 65;
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            1 + v.ilog2() as usize
+        }
+    }
+
+    /// Record one sample (the sum saturates rather than overflowing).
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Hist::bucket_of(v)] += 1;
+    }
+
+    /// Merge another histogram into this one (commutative).
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Smallest sample, clamped for rendering (0 when empty).
+    pub fn min_or_zero(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i, c))
+    }
+}
+
+/// Fully merged, deterministic session metrics (sorted by name).
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Sum-merged counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Max-merged gauges (high-water marks).
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms.
+    pub hists: BTreeMap<String, Hist>,
+}
+
+/// One thread's unmerged accumulators.
+#[derive(Default)]
+pub(crate) struct LocalMetrics {
+    counters: HashMap<&'static str, u64, BuildHasherDefault<NameHasher>>,
+    gauges: HashMap<&'static str, u64, BuildHasherDefault<NameHasher>>,
+    hists: HashMap<&'static str, Hist, BuildHasherDefault<NameHasher>>,
+}
+
+impl LocalMetrics {
+    pub(crate) fn counter_add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    pub(crate) fn gauge_max(&mut self, name: &'static str, v: u64) {
+        let g = self.gauges.entry(name).or_insert(0);
+        *g = (*g).max(v);
+    }
+
+    pub(crate) fn hist_record(&mut self, name: &'static str, v: u64) {
+        self.hists.entry(name).or_default().record(v);
+    }
+
+    pub(crate) fn merge_into(&mut self, out: &mut Metrics) {
+        for (name, n) in self.counters.drain() {
+            *out.counters.entry(name.to_string()).or_insert(0) += n;
+        }
+        for (name, v) in self.gauges.drain() {
+            let g = out.gauges.entry(name.to_string()).or_insert(0);
+            *g = (*g).max(v);
+        }
+        for (name, h) in self.hists.drain() {
+            out.hists.entry(name.to_string()).or_default().merge(&h);
+        }
+    }
+}
+
+/// Multiply-mix hasher for short static metric names (FxHash-style; the
+/// default SipHash is needlessly heavy for per-event counter bumps).
+#[derive(Default)]
+pub(crate) struct NameHasher(u64);
+
+impl Hasher for NameHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.0 = (self.0 ^ u64::from_le_bytes(word))
+                .wrapping_mul(SEED)
+                .rotate_left(26);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_buckets_are_log2() {
+        let mut h = Hist::default();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1 << 40, u64::MAX] {
+            h.record(v);
+        }
+        let buckets: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![(0, 1), (1, 1), (2, 2), (3, 2), (4, 1), (41, 1), (64, 1)]
+        );
+        assert_eq!(h.count, 9);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, u64::MAX);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+        }
+        for v in [2u64, 1024] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 5);
+        assert_eq!(ab.sum, 1 + 5 + 9 + 2 + 1024);
+    }
+
+    #[test]
+    fn local_metrics_merge_sums_and_maxes() {
+        let mut local1 = LocalMetrics::default();
+        let mut local2 = LocalMetrics::default();
+        local1.counter_add("c", 3);
+        local2.counter_add("c", 4);
+        local1.gauge_max("g", 10);
+        local2.gauge_max("g", 7);
+        local1.hist_record("h", 1);
+        local2.hist_record("h", 2);
+        let mut out = Metrics::default();
+        local1.merge_into(&mut out);
+        local2.merge_into(&mut out);
+        assert_eq!(out.counters["c"], 7);
+        assert_eq!(out.gauges["g"], 10);
+        assert_eq!(out.hists["h"].count, 2);
+    }
+}

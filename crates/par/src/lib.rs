@@ -74,12 +74,21 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let workers = threads.min(n);
+    // Carry any live obs session into the workers: each gets a per-thread
+    // buffer, spliced back in spawn order by `fork.join()` so spans from
+    // inside `f` always close into a well-formed tree. A no-op (one
+    // atomic load) when nothing is recording.
+    let fork = obs::fork(workers);
     let cursor = AtomicUsize::new(0);
     let mut harvest: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                let fork = &fork;
+                let cursor = &cursor;
+                let f = &f;
+                s.spawn(move || {
+                    let _obs = fork.worker(w);
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -96,6 +105,7 @@ where
             harvest.push(h.join().expect("worker panicked"));
         }
     });
+    fork.join();
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for (i, r) in harvest.into_iter().flatten() {
         slots[i] = Some(r);

@@ -21,11 +21,17 @@ pub(crate) fn check(
     let mut manager = BddManager::new(al.names.len());
     let fa = match compile(&mut manager, a, &al.a_pos, opts.bdd_node_budget)? {
         Some(outputs) => outputs,
-        None => return sim::run(a, b, &al, opts, true),
+        None => {
+            obs::counter!("verify.bdd.fallbacks");
+            return sim::run(a, b, &al, opts, true);
+        }
     };
     let fb = match compile(&mut manager, b, &al.b_pos, opts.bdd_node_budget)? {
         Some(outputs) => outputs,
-        None => return sim::run(a, b, &al, opts, true),
+        None => {
+            obs::counter!("verify.bdd.fallbacks");
+            return sim::run(a, b, &al, opts, true);
+        }
     };
     for (_, ai, bi) in &al.outputs {
         if fa[*ai] != fb[*bi] {

@@ -196,6 +196,9 @@ impl std::error::Error for VerifyError {}
 /// Returns [`VerifyError`] when the networks cannot be compared at all;
 /// functional differences are reported as [`Verdict::NotEquivalent`].
 pub fn check_equiv(a: &Network, b: &Network, opts: &VerifyOptions) -> Result<Verdict, VerifyError> {
+    if opts.level != VerifyLevel::Off {
+        obs::counter!("verify.checks");
+    }
     match opts.level {
         VerifyLevel::Off => Ok(Verdict::Skipped),
         VerifyLevel::Sim => {

@@ -49,6 +49,10 @@ pub(crate) fn run(
     // word ranges, so the first hit in chunk order is the global first.
     let ranges = par::split_ranges(words, threads * 4);
     let hits: Vec<Option<Vec<bool>>> = par::scope_map(threads, &ranges, |_, range| {
+        // Scheduled words, not completed ones: every range runs, so the
+        // total is `words` at any thread count even when a chunk stops
+        // early on a counterexample.
+        obs::counter!("verify.sim.words", range.len() as u64);
         let mut union = vec![0u64; al.names.len()];
         for w in range.clone() {
             fill_word(&mut union, opts.seed, w);

@@ -118,6 +118,14 @@ pub struct FlowConfig {
     /// [`MethodResult::lint_findings`]; at [`LintLevel::Deny`] any
     /// `Error`-severity finding aborts the flow with [`FlowError::Lint`].
     pub lint: LintLevel,
+    /// Observability mode. Any value other than [`obs::ObsMode::Off`]
+    /// records spans and metrics for the run: [`run_method`] /
+    /// [`run_flow`] start a recording session (unless the caller already
+    /// has one live on this thread, in which case events flow into it)
+    /// and attach the finished [`obs::Report`] to
+    /// [`MethodResult::obs`]. The mode value itself selects the sink used
+    /// by CLI drivers; the flow records identically for all three.
+    pub obs: obs::ObsMode,
 }
 
 impl Default for FlowConfig {
@@ -135,6 +143,7 @@ impl Default for FlowConfig {
             sim_threads: 1,
             verify: VerifyLevel::Off,
             lint: LintLevel::Off,
+            obs: obs::ObsMode::Off,
         }
     }
 }
@@ -213,6 +222,7 @@ fn checkpoint(
     outputs: OutputPolicy,
     cfg: &FlowConfig,
 ) -> Result<(), FlowError> {
+    let _span = obs::span!("verify", "{stage}");
     let opts = VerifyOptions::at_level(cfg.verify).with_outputs(outputs);
     match check_equiv(before, after, &opts) {
         Ok(Verdict::NotEquivalent(counterexample)) => Err(FlowError::Verify {
@@ -261,6 +271,7 @@ fn lint_checkpoint(
 /// runs under the lint certifier and panics if it corrupts a structural
 /// invariant.
 pub fn optimize(net: &Network) -> Network {
+    let _span = obs::span!("optimize");
     let mut n = net.clone();
     lint::certify::rugged_like(&mut n);
     n
@@ -349,6 +360,11 @@ pub struct MethodResult {
     /// [`LintLevel::Deny`] this can only hold `Warn`/`Info` findings
     /// (errors abort the flow instead).
     pub lint_findings: Vec<StageLint>,
+    /// Observability report of the run, when [`FlowConfig::obs`] is not
+    /// [`obs::ObsMode::Off`] **and** the flow owned the recording session.
+    /// `None` when a caller-owned session was already live (the caller
+    /// finishes it and holds the report) or when observability is off.
+    pub obs: Option<obs::Report>,
 }
 
 /// Run one method on an **already optimized** network.
@@ -362,6 +378,26 @@ pub fn run_method(
     method: Method,
     cfg: &FlowConfig,
 ) -> Result<MethodResult, FlowError> {
+    if cfg.obs != obs::ObsMode::Off && !obs::active() {
+        let session = obs::Session::start();
+        let result = run_method_inner(optimized, lib, method, cfg);
+        let report = session.finish();
+        return result.map(|mut r| {
+            r.obs = Some(report);
+            r
+        });
+    }
+    run_method_inner(optimized, lib, method, cfg)
+}
+
+fn run_method_inner(
+    optimized: &Network,
+    lib: &Library,
+    method: Method,
+    cfg: &FlowConfig,
+) -> Result<MethodResult, FlowError> {
+    let _method_span = obs::span!("method", "{method}");
+    obs::counter!("flow.methods");
     let pi_probs = cfg
         .pi_probs
         .clone()
@@ -369,12 +405,11 @@ pub fn run_method(
     let mut lint_findings = Vec::new();
     let lint_cfg = LintConfig::new();
     if cfg.lint != LintLevel::Off {
-        lint_checkpoint(
-            "library",
-            lint_library(lib, &lint_cfg),
-            cfg,
-            &mut lint_findings,
-        )?;
+        let report = {
+            let _s = obs::span!("lint", "library");
+            lint_library(lib, &lint_cfg)
+        };
+        lint_checkpoint("library", report, cfg, &mut lint_findings)?;
     }
     let dopts = DecompOptions {
         style: method.decomp_style(),
@@ -392,22 +427,23 @@ pub fn run_method(
         cfg,
     )?;
     if cfg.lint != LintLevel::Off {
-        lint_checkpoint(
-            "decompose",
-            lint_decomposed(&decomposed, &lint_cfg),
-            cfg,
-            &mut lint_findings,
-        )?;
+        let report = {
+            let _s = obs::span!("lint", "decompose");
+            lint_decomposed(&decomposed, &lint_cfg)
+        };
+        lint_checkpoint("decompose", report, cfg, &mut lint_findings)?;
     }
     let (mappable, _const_outputs) = strip_constant_outputs(&decomposed.network);
-    let act = analyze(&mappable, &pi_probs, cfg.model);
+    let act = {
+        let _s = obs::span!("activity");
+        analyze(&mappable, &pi_probs, cfg.model)
+    };
     if cfg.lint != LintLevel::Off {
-        lint_checkpoint(
-            "activity",
-            lint_activity(&mappable, &act, &lint_cfg),
-            cfg,
-            &mut lint_findings,
-        )?;
+        let report = {
+            let _s = obs::span!("lint", "activity");
+            lint_activity(&mappable, &act, &lint_cfg)
+        };
+        lint_checkpoint("activity", report, cfg, &mut lint_findings)?;
     }
     let decomp_switching = act.total_switching(mappable.logic_ids());
     let aig = SubjectAig::from_network(&mappable, &act)?;
@@ -420,30 +456,38 @@ pub fn run_method(
         required_time: cfg.required_time,
         ..MapOptions::power()
     };
-    let mapped = map_network(&aig, lib, &mopts)?;
+    let mapped = {
+        let _s = obs::span!("map");
+        map_network(&aig, lib, &mopts)?
+    };
     if cfg.verify != VerifyLevel::Off {
         let view = mapped.to_network(lib, mappable.name());
         checkpoint("map", &mappable, &view, OutputPolicy::Exact, cfg)?;
     }
     if cfg.lint != LintLevel::Off {
-        lint_checkpoint(
-            "map",
-            lint_mapped(&mapped, lib, cfg.po_load, &lint_cfg),
-            cfg,
-            &mut lint_findings,
-        )?;
+        let report = {
+            let _s = obs::span!("lint", "map");
+            lint_mapped(&mapped, lib, cfg.po_load, &lint_cfg)
+        };
+        lint_checkpoint("map", report, cfg, &mut lint_findings)?;
     }
-    let report = evaluate(&mapped, lib, &cfg.env, cfg.model, cfg.po_load);
-    let glitch = lowpower_core::power::simulate_glitch_power(
-        &mapped,
-        lib,
-        &cfg.env,
-        &pi_probs,
-        cfg.sim_vectors,
-        cfg.sim_seed,
-        cfg.po_load,
-        cfg.sim_threads,
-    );
+    let report = {
+        let _s = obs::span!("evaluate");
+        evaluate(&mapped, lib, &cfg.env, cfg.model, cfg.po_load)
+    };
+    let glitch = {
+        let _s = obs::span!("glitch_sim");
+        lowpower_core::power::simulate_glitch_power(
+            &mapped,
+            lib,
+            &cfg.env,
+            &pi_probs,
+            cfg.sim_vectors,
+            cfg.sim_seed,
+            cfg.po_load,
+            cfg.sim_threads,
+        )
+    };
     Ok(MethodResult {
         report,
         glitch_power_uw: glitch.power_uw,
@@ -451,6 +495,7 @@ pub fn run_method(
         decomp_switching,
         mapped,
         lint_findings,
+        obs: None,
     })
 }
 
@@ -464,16 +509,33 @@ pub fn run_flow(
     method: Method,
     cfg: &FlowConfig,
 ) -> Result<MethodResult, FlowError> {
+    if cfg.obs != obs::ObsMode::Off && !obs::active() {
+        let session = obs::Session::start();
+        let result = run_flow_inner(net, lib, method, cfg);
+        let report = session.finish();
+        return result.map(|mut r| {
+            r.obs = Some(report);
+            r
+        });
+    }
+    run_flow_inner(net, lib, method, cfg)
+}
+
+fn run_flow_inner(
+    net: &Network,
+    lib: &Library,
+    method: Method,
+    cfg: &FlowConfig,
+) -> Result<MethodResult, FlowError> {
     let optimized = optimize(net);
     checkpoint("optimize", net, &optimized, OutputPolicy::Exact, cfg)?;
     let mut pre_findings = Vec::new();
     if cfg.lint != LintLevel::Off {
-        lint_checkpoint(
-            "optimize",
-            lint_network(&optimized, &LintConfig::new()),
-            cfg,
-            &mut pre_findings,
-        )?;
+        let report = {
+            let _s = obs::span!("lint", "optimize");
+            lint_network(&optimized, &LintConfig::new())
+        };
+        lint_checkpoint("optimize", report, cfg, &mut pre_findings)?;
     }
     let mut result = run_method(&optimized, lib, method, cfg)?;
     pre_findings.append(&mut result.lint_findings);

@@ -13,6 +13,7 @@ pub use lint;
 pub use logicopt;
 pub use lowpower_core as core;
 pub use netlist;
+pub use obs;
 pub use verify;
 
 pub mod flow;

@@ -9,6 +9,7 @@
 //! lowpower decomp --blif CIRCUIT.blif [--style minpower|conventional|bounded]
 //! lowpower lint   --blif CIRCUIT.blif [--lib LIB.genlib] [--method VI]
 //!                 [--style …] [--lint=deny] [--json]
+//! lowpower obs-check [--file TRACE] [--chrome] [--strip]
 //! ```
 //!
 //! `synth` runs optimize → decompose → map → evaluate for one method and
@@ -30,10 +31,22 @@
 //! its diagnostics — it lints the raw input, the library, and every stage
 //! result, prints all findings (`--json` for machine-readable output), and
 //! with `--lint=deny` exits non-zero when errors were found.
+//!
+//! `--obs[=summary|json|chrome]` records the run: hierarchical spans with
+//! wall times plus deterministic counters/gauges/histograms. `summary`
+//! prints a human digest to stderr, `json` streams one event per line
+//! ending in a metrics snapshot, `chrome` writes a Chrome trace-event
+//! file for `chrome://tracing` / Perfetto. `--obs-out FILE` redirects the
+//! sink to a file (`-` forces stdout). When a machine sink (json, chrome)
+//! owns stdout, the ordinary result lines move to stderr so the stream
+//! stays clean. `obs-check` validates a recorded stream (`--chrome` for
+//! traces) and with `--strip` prints the timing-stripped snapshot used
+//! for determinism diffs.
 
 use genlib::{builtin::lib2_like, Library};
 use lowpower::flow::{optimize, run_method, FlowConfig, Method, StageLint};
 use lowpower::lint::LintLevel;
+use lowpower::obs::ObsMode;
 use lowpower::verify::VerifyLevel;
 use std::process::ExitCode;
 
@@ -45,10 +58,11 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  lowpower synth  --blif FILE [--lib FILE] [--method I..VI] [--required NS] [--out FILE] [--correlations] [--verify[=sim|full]] [--lint[=check|deny|off]]");
-            eprintln!("  lowpower report --blif FILE [--lib FILE] [--verify[=sim|full]] [--lint[=check|deny|off]]");
+            eprintln!("  lowpower synth  --blif FILE [--lib FILE] [--method I..VI] [--required NS] [--out FILE] [--correlations] [--verify[=sim|full]] [--lint[=check|deny|off]] [--obs[=summary|json|chrome]] [--obs-out FILE]");
+            eprintln!("  lowpower report --blif FILE [--lib FILE] [--verify[=sim|full]] [--lint[=check|deny|off]] [--obs[=...]] [--obs-out FILE]");
             eprintln!("  lowpower decomp --blif FILE [--style conventional|minpower|bounded]");
-            eprintln!("  lowpower lint   --blif FILE [--lib FILE] [--method I..VI] [--style ...] [--lint=deny] [--json]");
+            eprintln!("  lowpower lint   --blif FILE [--lib FILE] [--method I..VI] [--style ...] [--lint=deny] [--json] [--obs[=...]] [--obs-out FILE]");
+            eprintln!("  lowpower obs-check [--file TRACE] [--chrome] [--strip]");
             ExitCode::from(2)
         }
     }
@@ -65,6 +79,11 @@ struct Opts {
     verify: VerifyLevel,
     lint: LintLevel,
     json: bool,
+    obs: ObsMode,
+    obs_out: Option<String>,
+    file: Option<String>,
+    chrome: bool,
+    strip: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -79,6 +98,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         verify: VerifyLevel::Off,
         lint: LintLevel::Off,
         json: false,
+        obs: ObsMode::Off,
+        obs_out: None,
+        file: None,
+        chrome: false,
+        strip: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -127,12 +151,25 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--verify" => o.verify = VerifyLevel::Full,
             "--lint" => o.lint = LintLevel::Check,
             "--json" => o.json = true,
+            "--obs" => o.obs = ObsMode::Summary,
+            "--obs-out" => {
+                o.obs_out = Some(need(i)?.clone());
+                i += 1;
+            }
+            "--file" => {
+                o.file = Some(need(i)?.clone());
+                i += 1;
+            }
+            "--chrome" => o.chrome = true,
+            "--strip" => o.strip = true,
             other => match (
                 other.strip_prefix("--verify="),
                 other.strip_prefix("--lint="),
+                other.strip_prefix("--obs="),
             ) {
-                (Some(level), _) => o.verify = level.parse()?,
-                (_, Some(level)) => o.lint = level.parse()?,
+                (Some(level), ..) => o.verify = level.parse()?,
+                (_, Some(level), _) => o.lint = level.parse()?,
+                (_, _, Some(mode)) => o.obs = mode.parse()?,
                 _ => return Err(format!("unknown option `{other}`")),
             },
         }
@@ -162,25 +199,98 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("missing subcommand".to_string());
     };
     let o = parse_opts(&args[1..])?;
-    match cmd.as_str() {
+    if cmd == "obs-check" {
+        return obs_check(&o);
+    }
+    // The CLI owns the obs session so one recording covers the whole
+    // subcommand (including the multi-method `report` loop); `flow` sees
+    // it active and does not start its own.
+    let session = (o.obs != ObsMode::Off).then(lowpower::obs::Session::start);
+    let outcome = match cmd.as_str() {
         "synth" => synth(&o),
         "report" => report(&o),
         "decomp" => decomp(&o),
         "lint" => lint_cmd(&o),
         other => Err(format!("unknown subcommand `{other}`")),
+    };
+    if let Some(session) = session {
+        write_obs_report(&o, &session.finish())?;
     }
+    outcome
+}
+
+/// `true` when the obs sink is a machine format writing to stdout, so
+/// ordinary result output must move to stderr to keep the stream clean.
+fn stdout_owned_by_obs(o: &Opts) -> bool {
+    matches!(o.obs, ObsMode::Json | ObsMode::Chrome)
+        && matches!(o.obs_out.as_deref(), None | Some("-"))
+}
+
+/// Render the finished session per `--obs` and write it per `--obs-out`:
+/// summaries default to stderr, machine sinks (JSONL, Chrome) to stdout;
+/// `--obs-out -` forces stdout and any other value names a file.
+fn write_obs_report(o: &Opts, report: &lowpower::obs::Report) -> Result<(), String> {
+    let text = match o.obs {
+        ObsMode::Off => return Ok(()),
+        ObsMode::Summary => report.render_summary(),
+        ObsMode::Json => report.render_jsonl(),
+        ObsMode::Chrome => report.render_chrome(),
+    };
+    match o.obs_out.as_deref() {
+        Some("-") => print!("{text}"),
+        Some(path) => std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?,
+        None if o.obs == ObsMode::Summary => eprint!("{text}"),
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// `obs-check`: strictly validate an obs JSONL stream (default) or a
+/// Chrome trace (`--chrome`) read from `--file` (default: stdin).
+/// `--strip` prints the timing-stripped snapshot used for determinism
+/// diffs instead of the ok line.
+fn obs_check(o: &Opts) -> Result<(), String> {
+    use lowpower::obs::check;
+    let text = match o.file.as_deref() {
+        None | Some("-") => {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            buf
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+    };
+    if o.chrome {
+        check::check_chrome(&text)?;
+        eprintln!("chrome trace ok");
+        return Ok(());
+    }
+    let snapshot = check::check_jsonl(&text)?;
+    if o.strip {
+        println!("{}", check::strip_timing(&snapshot));
+    } else {
+        eprintln!("obs stream ok");
+    }
+    Ok(())
 }
 
 /// Print accumulated per-stage lint findings to stderr (text) or stdout
-/// (JSON).
-fn print_findings(findings: &[StageLint], json: bool) {
+/// (JSON; stderr when an obs machine sink owns stdout).
+fn print_findings(findings: &[StageLint], json: bool, obs_owns_stdout: bool) {
     for f in findings {
         if json {
-            println!(
+            let line = format!(
                 "{{\"stage\":\"{}\",\"report\":{}}}",
                 f.stage,
                 f.report.render_json()
             );
+            if obs_owns_stdout {
+                eprintln!("{line}");
+            } else {
+                println!("{line}");
+            }
         } else {
             eprintln!("[lint:{}] {}", f.stage, f.report.render_text().trim_end());
         }
@@ -204,46 +314,61 @@ fn check_optimize(
 }
 
 fn synth(o: &Opts) -> Result<(), String> {
+    let say = |line: String| {
+        if stdout_owned_by_obs(o) {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
     let (net, lib) = load_inputs(o)?;
     let cfg = FlowConfig {
         required_time: o.required,
         use_correlations: o.correlations,
         verify: o.verify,
         lint: o.lint,
+        obs: o.obs,
         ..FlowConfig::default()
     };
     let optimized = optimize(&net);
     check_optimize(&net, &optimized, o.verify)?;
     let r = run_method(&optimized, &lib, o.method, &cfg).map_err(|e| e.to_string())?;
-    print_findings(&r.lint_findings, false);
-    println!(
+    print_findings(&r.lint_findings, false, stdout_owned_by_obs(o));
+    say(format!(
         "circuit   : {} ({} PIs, {} POs)",
         net.name(),
         net.inputs().len(),
         net.outputs().len()
-    );
-    println!(
+    ));
+    say(format!(
         "method    : {} ({:?} decomposition, {:?} mapping)",
         o.method,
         o.method.decomp_style(),
         o.method.map_objective()
-    );
-    println!("gates     : {}", r.report.gate_count);
-    println!("area      : {:.1}", r.report.area);
-    println!("delay     : {:.2} ns", r.report.delay);
-    println!(
+    ));
+    say(format!("gates     : {}", r.report.gate_count));
+    say(format!("area      : {:.1}", r.report.area));
+    say(format!("delay     : {:.2} ns", r.report.delay));
+    say(format!(
         "power     : {:.1} µW (zero-delay), {:.1} µW (glitch-aware)",
         r.report.power_uw, r.glitch_power_uw
-    );
+    ));
     if let Some(out) = &o.out {
         let text = r.mapped.to_blif(&lib, &format!("{}_mapped", net.name()));
         std::fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
-        println!("wrote mapped netlist to {out}");
+        say(format!("wrote mapped netlist to {out}"));
     }
     Ok(())
 }
 
 fn report(o: &Opts) -> Result<(), String> {
+    let say = |line: String| {
+        if stdout_owned_by_obs(o) {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
     let (net, lib) = load_inputs(o)?;
     let optimized = optimize(&net);
     check_optimize(&net, &optimized, o.verify)?;
@@ -255,23 +380,24 @@ fn report(o: &Opts) -> Result<(), String> {
         use_correlations: o.correlations,
         verify: o.verify,
         lint: o.lint,
+        obs: o.obs,
         ..FlowConfig::default()
     };
-    println!(
+    say(format!(
         "{:<7} {:>8} {:>9} {:>12} {:>12}",
         "method", "area", "delay", "power µW", "glitch µW"
-    );
+    ));
     for m in Method::ALL {
         let r = run_method(&optimized, &lib, m, &cfg).map_err(|e| e.to_string())?;
-        print_findings(&r.lint_findings, false);
-        println!(
+        print_findings(&r.lint_findings, false, stdout_owned_by_obs(o));
+        say(format!(
             "{:<7} {:>8.1} {:>9.2} {:>12.1} {:>12.1}",
             m.to_string(),
             r.report.area,
             r.report.delay,
             r.report.power_uw,
             r.glitch_power_uw
-        );
+        ));
     }
     Ok(())
 }
@@ -369,11 +495,17 @@ fn lint_cmd(o: &Opts) -> Result<(), String> {
         .map_err(|e| format!("mapping: {e}"))?;
     keep("map", lint_mapped(&mapped, &lib, cfg.po_load, &lint_cfg));
 
-    print_findings(&findings, o.json);
+    print_findings(&findings, o.json, stdout_owned_by_obs(o));
     let errors: usize = findings.iter().map(|f| f.report.error_count()).sum();
     let warnings: usize = findings.iter().map(|f| f.report.warn_count()).sum();
     if !o.json {
-        println!("lint: {stages} stage(s) checked, {errors} error(s), {warnings} warning(s)");
+        let line =
+            format!("lint: {stages} stage(s) checked, {errors} error(s), {warnings} warning(s)");
+        if stdout_owned_by_obs(o) {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
     }
     if o.lint == LintLevel::Deny && errors > 0 {
         return Err(format!("lint found {errors} error-severity finding(s)"));

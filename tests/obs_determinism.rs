@@ -1,0 +1,129 @@
+//! The obs determinism contract, end to end.
+//!
+//! Everything the obs layer counts — counters, gauges, histograms, span
+//! counts — must be a pure function of the work performed: byte-identical
+//! across thread counts and repeated runs once wall-time fields are
+//! stripped. These tests pin that contract over full flow runs, plus the
+//! structural guarantees of the sinks:
+//!
+//! * 3 suite circuits × all 6 paper methods: the timing-stripped metrics
+//!   snapshot is byte-identical at `sim_threads = 1` and `4`, and across
+//!   repeated runs;
+//! * a full flow run's JSONL stream and Chrome trace pass the strict
+//!   checkers in `obs::check`, and the stream's stripped snapshot equals
+//!   the report's own timing-free snapshot;
+//! * spans opened inside `par::scope_map` workers always splice back into
+//!   a well-formed tree under the span open at the fork point, for
+//!   arbitrary item counts and thread counts (proptest).
+
+use genlib::builtin::lib2_like;
+use lowpower::flow::{optimize, run_method, FlowConfig, Method};
+use lowpower::obs;
+use lowpower::obs::check::{check_chrome, check_jsonl, parse_json, strip_timing};
+use lowpower::obs::SpanNode;
+use proptest::prelude::*;
+
+/// Run one method under a recording session and return the
+/// timing-stripped metrics snapshot.
+fn stripped_snapshot(
+    optimized: &netlist::Network,
+    lib: &genlib::Library,
+    m: Method,
+    threads: usize,
+) -> String {
+    let cfg = FlowConfig {
+        sim_vectors: 256,
+        sim_threads: threads,
+        ..FlowConfig::default()
+    };
+    let session = obs::Session::start();
+    run_method(optimized, lib, m, &cfg).expect("flow runs");
+    session.finish().snapshot_json(false)
+}
+
+#[test]
+fn snapshots_thread_and_repeat_invariant() {
+    let lib = lib2_like();
+    for name in ["cm42a", "x2", "s208"] {
+        let net = benchgen::suite_circuit(name);
+        let optimized = optimize(&net);
+        for m in Method::ALL {
+            let serial = stripped_snapshot(&optimized, &lib, m, 1);
+            let parallel = stripped_snapshot(&optimized, &lib, m, 4);
+            let repeat = stripped_snapshot(&optimized, &lib, m, 4);
+            assert_eq!(serial, parallel, "{name} {m}: 1 vs 4 threads diverged");
+            assert_eq!(parallel, repeat, "{name} {m}: repeated runs diverged");
+        }
+    }
+}
+
+#[test]
+fn full_flow_sinks_pass_strict_checkers() {
+    let lib = lib2_like();
+    let net = benchgen::suite_circuit("cm42a");
+    let optimized = optimize(&net);
+    let cfg = FlowConfig {
+        sim_vectors: 256,
+        sim_threads: 4,
+        ..FlowConfig::default()
+    };
+    let session = obs::Session::start();
+    run_method(&optimized, &lib, Method::VI, &cfg).expect("flow runs");
+    let report = session.finish();
+
+    let snap = check_jsonl(&report.render_jsonl()).expect("JSONL stream is well-formed");
+    let timing_free = parse_json(&report.snapshot_json(false))
+        .expect("snapshot is strict JSON")
+        .render();
+    assert_eq!(
+        strip_timing(&snap),
+        timing_free,
+        "stream snapshot must strip to the report's timing-free snapshot"
+    );
+
+    check_chrome(&report.render_chrome()).expect("Chrome trace is well-formed");
+}
+
+fn count_spans(nodes: &[SpanNode], name: &str) -> usize {
+    nodes
+        .iter()
+        .map(|n| (n.name == name) as usize + count_spans(&n.children, name))
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn scope_map_spans_close_into_well_formed_tree(
+        items in 0usize..40,
+        threads in 1usize..8,
+        nested_bit in 0usize..2,
+    ) {
+        let nested = nested_bit == 1;
+        let data: Vec<usize> = (0..items).collect();
+        let session = obs::Session::start();
+        {
+            let _outer = obs::span!("outer");
+            par::scope_map(threads, &data, |i, &x| {
+                let _work = obs::span!("work");
+                if nested {
+                    let _inner = obs::span!("inner");
+                    obs::counter!("t.det.nested");
+                }
+                i + x
+            });
+        }
+        let report = session.finish();
+        let forest = report.tree().expect("span buffers are balanced");
+        prop_assert_eq!(forest.len(), 1, "one top-level span");
+        prop_assert_eq!(forest[0].name, "outer");
+        prop_assert_eq!(count_spans(&forest, "work"), items);
+        prop_assert_eq!(
+            count_spans(&forest, "inner"),
+            if nested { items } else { 0 }
+        );
+        // The flattened stream must satisfy the strict checker too
+        // (per-thread balance and monotone timestamps).
+        check_jsonl(&report.render_jsonl()).expect("stream is well-formed");
+    }
+}
