@@ -56,4 +56,18 @@ cargo run --release --quiet -- obs-check --file "$TMP/obs.trace.json" --chrome
 echo "==> obs disabled-overhead smoke (criterion micro-bench)"
 cargo bench --quiet -p lowpower-bench --bench obs_overhead > /dev/null
 
+echo "==> qor gate (regenerate example-circuit QoR, zero-tolerance diff vs baseline)"
+cargo run --release --quiet -- qor-baseline \
+    --blif examples/blif/fulladd.blif --blif examples/blif/mux4.blif \
+    --blif examples/blif/parity4.blif --out "$TMP/qor_examples.json" > /dev/null
+cargo run --release --quiet -- qor-diff \
+    --baseline results/qor_baseline.json --against "$TMP/qor_examples.json"
+
+echo "==> qor ledger gate (JSONL validity + telescoping deltas, --qor=gate vs baseline)"
+cargo run --release --quiet -- synth --blif examples/blif/mux4.blif --method V \
+    --qor=json --qor-out "$TMP/qor.jsonl" > /dev/null 2>&1
+cargo run --release --quiet -- qor-check --file "$TMP/qor.jsonl"
+cargo run --release --quiet -- synth --blif examples/blif/parity4.blif --method V \
+    --qor=gate --qor-baseline results/qor_baseline.json > /dev/null 2> /dev/null
+
 echo "CI OK"

@@ -12,19 +12,22 @@
 //!   --circuits a,b,c  subset of suite circuits (default: a small/medium mix)
 //!   --threads N       parallel thread count to compare against serial
 //!                     (default: PAR_THREADS or the machine's cores)
-//!   --out FILE        output JSON path (default: BENCH_pr4.json)
+//!   --out FILE        output JSON path (default: BENCH_pr5.json)
 //!   --check           also assert that the parallel kernels produce
 //!                     results identical to serial, exit 1 on divergence
 //!
 //! JSON schema: an array of
 //!   `{"circuit", "method", "stage", "wall_ms", "threads", "speedup",
-//!     "counters"}`
+//!     "counters", "qor"}`
 //! where `speedup` is serial wall time over this entry's wall time
 //! (1.0 for the serial entries themselves). Stages that take no thread
 //! parameter (optimize, decompose, map) are recorded once with
 //! `"threads": 1`. `counters` is the stage's deterministic obs counter
 //! snapshot (one clean run, so work metrics ride alongside the wall
-//! times); the PR 3 fields are unchanged.
+//! times). `qor` is the stage's fixed-point QoR snapshot (power/area/
+//! delay/nodes/literals, see the `qor` crate) for the artifact-producing
+//! stages and `null` for the measurement kernels; the PR 3/4 fields are
+//! unchanged.
 
 use activity::{analyze, sim::simulate_activity_seeded, TransitionModel};
 use genlib::builtin::lib2_like;
@@ -53,6 +56,10 @@ struct Entry {
     /// Deterministic obs counter snapshot for one run of this stage,
     /// rendered as a JSON object (thread-count invariant by contract).
     counters: String,
+    /// Fixed-point QoR snapshot of the stage's artifact as a JSON object
+    /// (`qor::Metrics::to_json`), or `"null"` for measurement kernels
+    /// that produce no artifact.
+    qor: String,
 }
 
 /// Wall time of `f` in milliseconds, best of two runs (the second run sees
@@ -81,7 +88,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut circuits: Option<Vec<String>> = None;
     let mut threads: Option<usize> = None;
-    let mut out = "BENCH_pr4.json".to_string();
+    let mut out = "BENCH_pr5.json".to_string();
     let mut check = false;
     let mut i = 0;
     while i < args.len() {
@@ -118,7 +125,7 @@ fn main() {
 
     for name in &selected {
         let net = benchgen::suite_circuit(name);
-        let mut push = |stage, wall_ms, threads, speedup, counters: &str| {
+        let mut push = |stage, wall_ms, threads, speedup, counters: &str, qor: &str| {
             entries.push(Entry {
                 circuit: name.clone(),
                 method: method.to_string(),
@@ -127,20 +134,24 @@ fn main() {
                 threads,
                 speedup,
                 counters: counters.to_string(),
+                qor: qor.to_string(),
             });
         };
+        let qctx = qor::Ctx::default();
 
         // Serial stages: timed once.
         let optimized = optimize(&net);
         let optimize_counters = stage_counters(|| {
             optimize(&net);
         });
+        let optimize_qor = qor::measure_network(&optimized, &qctx).to_json().render();
         push(
             "optimize",
             time_ms(|| optimize(&net)),
             1,
             1.0,
             &optimize_counters,
+            &optimize_qor,
         );
 
         let dopts = DecompOptions {
@@ -154,12 +165,16 @@ fn main() {
         let decompose_counters = stage_counters(|| {
             decompose_network(&optimized, &dopts);
         });
+        let decompose_qor = qor::measure_network(&decomposed.network, &qctx)
+            .to_json()
+            .render();
         push(
             "decompose",
             time_ms(|| decompose_network(&optimized, &dopts)),
             1,
             1.0,
             &decompose_counters,
+            &decompose_qor,
         );
 
         let (mappable, _) = strip_constant_outputs(&decomposed.network);
@@ -174,12 +189,14 @@ fn main() {
         let map_counters = stage_counters(|| {
             map_network(&aig, &lib, &mopts).expect("maps");
         });
+        let map_qor = qor::measure_mapped(&mapped, &lib, &qctx).to_json().render();
         push(
             "map",
             time_ms(|| map_network(&aig, &lib, &mopts).expect("maps")),
             1,
             1.0,
             &map_counters,
+            &map_qor,
         );
 
         // Threaded kernels: timed at 1 and at `par_threads`.
@@ -229,7 +246,7 @@ fn main() {
             // contract, pinned by tests/obs_determinism.rs).
             let counters = stage_counters(|| kernel(1));
             let serial_ms = time_ms(|| kernel(1));
-            push(stage, serial_ms, 1, 1.0, &counters);
+            push(stage, serial_ms, 1, 1.0, &counters, "null");
             if par_threads > 1 {
                 let par_ms = time_ms(|| kernel(par_threads));
                 push(
@@ -238,6 +255,7 @@ fn main() {
                     par_threads,
                     serial_ms / par_ms.max(1e-9),
                     &counters,
+                    "null",
                 );
             }
         }
@@ -302,7 +320,7 @@ fn render_json(entries: &[Entry]) -> String {
         s.push_str(&format!(
             "  {{\"circuit\": \"{}\", \"method\": \"{}\", \"stage\": \"{}\", \
              \"wall_ms\": {:.3}, \"threads\": {}, \"speedup\": {:.3}, \
-             \"counters\": {}}}{}\n",
+             \"counters\": {}, \"qor\": {}}}{}\n",
             e.circuit,
             e.method,
             e.stage,
@@ -310,6 +328,7 @@ fn render_json(entries: &[Entry]) -> String {
             e.threads,
             e.speedup,
             e.counters,
+            e.qor,
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }

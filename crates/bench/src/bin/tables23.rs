@@ -181,6 +181,7 @@ fn rerun_with(
         cfg.po_load,
         cfg.sim_threads,
     );
+    let provenance = qor::Provenance::from_decomposed(&d);
     lowpower::flow::MethodResult {
         report,
         glitch_power_uw: glitch.power_uw,
@@ -189,6 +190,8 @@ fn rerun_with(
         mapped,
         lint_findings: Vec::new(),
         obs: None,
+        qor: None,
+        provenance,
     }
 }
 

@@ -90,6 +90,12 @@ pub struct DecomposedNetwork {
     pub applied_bounds: HashMap<String, usize>,
     /// Depth (unit-delay levels) of the decomposed network.
     pub depth: i64,
+    /// Provenance: decomposed logic-node name → name of the original node
+    /// whose decomposition emitted it. Tree gates (`d_*`, later possibly
+    /// renamed) and aliasing buffers map to the node being decomposed;
+    /// shared inverters (`inv_*`) map to the node that *drives* them.
+    /// Primary inputs are their own provenance and are omitted.
+    pub provenance: HashMap<String, String>,
 }
 
 /// Per-node tree policy used by the builder.
@@ -237,6 +243,10 @@ fn build(
     // absolute unit-delay arrival level of every `out` node
     let mut level: HashMap<NodeId, usize> = HashMap::new();
     let mut node_heights = Vec::new();
+    // `out` node -> original node it descends from (provenance)
+    let mut prov: HashMap<NodeId, NodeId> = HashMap::new();
+    // fresh tree gates of the original node currently being decomposed
+    let mut created: Vec<NodeId> = Vec::new();
 
     for &pi in net.inputs() {
         let id = out
@@ -267,6 +277,7 @@ fn build(
                 .expect("unique node name");
             root.insert(id, nid);
             level.insert(nid, 0);
+            prov.insert(nid, id);
             node_heights.push((node.name().to_string(), 0, 0));
             continue;
         }
@@ -311,6 +322,9 @@ fn build(
                                 .add_logic(name, vec![src], Sop::parse(1, INV).expect("inv sop"))
                                 .expect("fresh name");
                             level.insert(inv, level[&src] + 1);
+                            // Shared across consumers: attributed to the
+                            // driver, not the node being decomposed.
+                            prov.insert(inv, src_orig);
                             inv
                         });
                         leaves.push((inv, 1.0 - p_src, level[&inv]));
@@ -328,21 +342,41 @@ fn build(
             let (cube_node, p_cube, l_cube) = match correlated {
                 Some(tree) => {
                     let p = tree.p_root();
-                    let (root_node, lv) = instantiate(&mut out, &mut level, &tree, &leaves, AND2);
+                    let (root_node, lv) =
+                        instantiate(&mut out, &mut level, &tree, &leaves, AND2, &mut created);
                     (root_node, p, lv)
                 }
-                None => emit_tree(&mut out, &mut level, &leaves, and_obj, and_pol, AND2),
+                None => emit_tree(
+                    &mut out,
+                    &mut level,
+                    &leaves,
+                    and_obj,
+                    and_pol,
+                    AND2,
+                    &mut created,
+                ),
             };
             cube_roots.push((cube_node, p_cube, l_cube));
         }
 
         // OR tree over cube roots.
-        let (node_root, _p, _l_root) =
-            emit_tree(&mut out, &mut level, &cube_roots, or_obj, or_pol, OR2);
+        let (node_root, _p, _l_root) = emit_tree(
+            &mut out,
+            &mut level,
+            &cube_roots,
+            or_obj,
+            or_pol,
+            OR2,
+            &mut created,
+        );
 
         // Rename / alias the root to the original node's name.
         let final_id = alias_with_name(&mut out, &mut level, node_root, node.name());
         root.insert(id, final_id);
+        for c in created.drain(..) {
+            prov.insert(c, id);
+        }
+        prov.insert(final_id, id);
 
         // Balanced-height reference of this node in isolation (for the
         // depth_surplus report).
@@ -357,11 +391,22 @@ fn build(
         .expect("decomposed network must be structurally sound");
     obs::counter!("decomp.nodes.emitted", out.logic_ids().count() as u64);
     let depth = netlist::traversal::depth(&out);
+    // Renames are done: freeze the provenance map under final names.
+    let provenance = prov
+        .iter()
+        .map(|(nid, orig)| {
+            (
+                out.node(*nid).name().to_string(),
+                net.node(*orig).name().to_string(),
+            )
+        })
+        .collect();
     DecomposedNetwork {
         network: out,
         node_heights,
         applied_bounds: HashMap::new(),
         depth,
+        provenance,
     }
 }
 
@@ -374,6 +419,7 @@ fn emit_tree(
     obj: DecompObjective,
     pol: NodePolicy,
     gate_sop: &[&str],
+    created: &mut Vec<NodeId>,
 ) -> (NodeId, f64, usize) {
     assert!(!leaves.is_empty(), "tree needs leaves");
     if leaves.len() == 1 {
@@ -390,7 +436,7 @@ fn emit_tree(
                 .expect("bound made feasible by construction")
         }
     };
-    let (root, root_level) = instantiate(out, level, &tree, leaves, gate_sop);
+    let (root, root_level) = instantiate(out, level, &tree, leaves, gate_sop, created);
     (root, tree.p_root(), root_level)
 }
 
@@ -401,7 +447,9 @@ fn instantiate(
     tree: &DecompTree,
     leaves: &[(NodeId, f64, usize)],
     gate_sop: &[&str],
+    created: &mut Vec<NodeId>,
 ) -> (NodeId, usize) {
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         out: &mut Network,
         level: &mut HashMap<NodeId, usize>,
@@ -409,22 +457,24 @@ fn instantiate(
         idx: usize,
         leaves: &[(NodeId, f64, usize)],
         gate_sop: &[&str],
+        created: &mut Vec<NodeId>,
     ) -> (NodeId, usize) {
         match tree.nodes()[idx] {
             TreeNode::Leaf { input, .. } => (leaves[input].0, leaves[input].2),
             TreeNode::Internal { left, right, .. } => {
-                let (l, ll) = rec(out, level, tree, left, leaves, gate_sop);
-                let (r, lr) = rec(out, level, tree, right, leaves, gate_sop);
+                let (l, ll) = rec(out, level, tree, left, leaves, gate_sop, created);
+                let (r, lr) = rec(out, level, tree, right, leaves, gate_sop, created);
                 let name = out.fresh_name("d_");
                 let sop = Sop::parse(2, gate_sop).expect("gate sop");
                 let id = out.add_logic(name, vec![l, r], sop).expect("fresh name");
                 let lv = ll.max(lr) + 1;
                 level.insert(id, lv);
+                created.push(id);
                 (id, lv)
             }
         }
     }
-    rec(out, level, tree, tree.root(), leaves, gate_sop)
+    rec(out, level, tree, tree.root(), leaves, gate_sop, created)
 }
 
 /// Give `node` the name `name` in `out`. Fresh tree roots (`d_*` names)

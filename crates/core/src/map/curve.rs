@@ -123,6 +123,23 @@ impl Curve {
         self.points.push(p);
     }
 
+    /// Insert a point at its sorted arrival position, **exempt from
+    /// dominance pruning** — the point stays even when an existing point
+    /// dominates it, and no existing point is removed. The pruning
+    /// exemption of §3.1 (see `map_network`): when ε-merging leaves a
+    /// phase with only phase-repair inverter points, the least-power raw
+    /// point is re-inserted through this so raw-only demands always have
+    /// a candidate. The exempt point never displaces an ordinary
+    /// selection: every query scans all points and it costs at least as
+    /// much as the survivor that pruned it.
+    pub fn insert_exempt(&mut self, p: Point) {
+        let pos = self
+            .points
+            .partition_point(|q| (q.arrival, q.cost) < (p.arrival, p.cost));
+        obs::counter!("map.curve.exempt_inserts");
+        self.points.insert(pos, p);
+    }
+
     /// Hard cap on curve size after pruning; beyond it the curve is thinned
     /// by keeping the fastest point, the cheapest point and an evenly
     /// spread selection in between. Keeps the postorder pass near-linear.

@@ -100,6 +100,11 @@ pub struct MappedInstance {
     pub inputs: Vec<NetRef>,
     /// Probability that the instance output is 1 (zero-delay, exact).
     pub p_one: f64,
+    /// Provenance: name of the subject-network node whose cone this gate
+    /// implements (see [`SubjectAig::source`]). Composed with the
+    /// decomposition provenance map, it resolves every instance back to a
+    /// node of the original optimized network.
+    pub source: String,
 }
 
 /// A technology-mapped netlist.
@@ -218,6 +223,8 @@ pub fn map_network(
         neg.finalize(opts.epsilon);
         // Phase repair: inverters bridge phases; buffers strengthen within
         // a phase. Built from the raw curves only (no inv-of-inv).
+        let raw_pos = pos.cheapest().map(|(_, p)| p.clone());
+        let raw_neg = neg.cheapest().map(|(_, p)| p.clone());
         let aug_neg = phase_aug_points(aig, lib, opts, c_def, &pos, idx, true, ps.inverters());
         let aug_pos = phase_aug_points(aig, lib, opts, c_def, &neg, idx, false, ps.inverters());
         for p in aug_neg {
@@ -228,6 +235,12 @@ pub fn map_network(
         }
         pos.finalize(opts.epsilon);
         neg.finalize(opts.epsilon);
+        // Pruning exemption: at coarse ε the merge can leave a phase with
+        // only phase-repair (aug) points; a raw-only demand on that phase
+        // would then dead-end and the output cone would be unmappable
+        // (seen on s510 at ε = 0.5). Keep the least-power raw point alive.
+        restore_raw_point(&mut pos, raw_pos);
+        restore_raw_point(&mut neg, raw_neg);
         if pos.is_empty() && neg.is_empty() {
             let name = format!("aig_node_{idx}");
             return Err(MapError::UnmappedOutput(name));
@@ -361,6 +374,7 @@ pub fn map_network(
             gate: gi,
             inputs: ins,
             p_one: aig.p_signal(s),
+            source: aig.source(s.node).to_string(),
         });
         let r = NetRef::Inst(instances.len() - 1);
         built.insert(key, r);
@@ -389,6 +403,18 @@ pub fn map_network(
         estimated_fastest: worst,
         estimated_required: required,
     })
+}
+
+/// Re-insert the cheapest raw point (captured before the phase-repair
+/// push) into a curve whose surviving points are all same-node aug points,
+/// so [`select_point`]'s raw-only filter always has a candidate. A no-op
+/// when any raw point survived or when the phase never had one.
+fn restore_raw_point(curve: &mut Curve, cheapest_raw: Option<Point>) {
+    let Some(p) = cheapest_raw else { return };
+    if curve.points().iter().any(|q| !q.is_same_node_aug()) {
+        return;
+    }
+    curve.insert_exempt(p);
 }
 
 /// Cheapest point satisfying every demand; when none does, the point

@@ -80,6 +80,10 @@ pub struct SubjectAig {
     outputs: Vec<(String, Signal)>,
     strash: HashMap<(Signal, Signal), u32>,
     fanout_count: Vec<usize>,
+    /// Per-node provenance: name of the source network node whose
+    /// conversion created the AIG node (PIs carry their own name; a
+    /// structurally-hashed AND keeps its first creator).
+    source: Vec<String>,
 }
 
 impl SubjectAig {
@@ -98,11 +102,13 @@ impl SubjectAig {
             outputs: Vec::new(),
             strash: HashMap::new(),
             fanout_count: Vec::new(),
+            source: Vec::new(),
         };
         let mut sig_of: HashMap<NodeId, Signal> = HashMap::new();
         for (i, &pi) in net.inputs().iter().enumerate() {
             aig.pi_names.push(net.node(pi).name().to_string());
             let n = aig.push(AigNode::Pi { input: i }, act.p_one(pi));
+            aig.source.push(net.node(pi).name().to_string());
             sig_of.insert(
                 pi,
                 Signal {
@@ -148,6 +154,11 @@ impl SubjectAig {
                 }
                 _ => return Err(MapError::UnsupportedNode(node.name().to_string())),
             };
+            // Any AND nodes the conversion just created belong to this
+            // network node's cone.
+            while aig.source.len() < aig.nodes.len() {
+                aig.source.push(node.name().to_string());
+            }
             sig_of.insert(id, sig);
         }
         for (name, o) in net.outputs() {
@@ -238,6 +249,12 @@ impl SubjectAig {
     /// Number of consumers of a node (either phase), POs included.
     pub fn fanout_count(&self, node: u32) -> usize {
         self.fanout_count[node as usize]
+    }
+
+    /// Provenance of an AIG node: the name of the network node whose
+    /// conversion created it (a PI's own name for PI nodes).
+    pub fn source(&self, node: u32) -> &str {
+        &self.source[node as usize]
     }
 
     /// Evaluate the whole AIG on a PI assignment; returns node values.

@@ -78,10 +78,7 @@ pub fn evaluate(
     // nets are excluded — their charge is dissipated in the external
     // drivers, as in the paper's estimator, which reports the power of the
     // synthesized gates.
-    let mut power_uw = 0.0;
-    for (i, inst) in m.instances.iter().enumerate() {
-        power_uw += env.average_power_uw(load[n_pi + i], model.switching(inst.p_one));
-    }
+    let power_uw = per_instance_power(m, lib, env, model, po_load).iter().sum();
 
     let area = m.instances.iter().map(|i| lib.gates()[i.gate].area()).sum();
     MappedReport {
@@ -90,6 +87,40 @@ pub fn evaluate(
         power_uw,
         gate_count: m.instances.len(),
     }
+}
+
+/// Zero-delay average power of each gate instance, µW, in instance order.
+///
+/// The same eq. 1 estimator as [`evaluate`] — `evaluate`'s `power_uw` is
+/// exactly the sum of this vector — exposed separately so per-gate power
+/// can be attributed back to source nodes (QoR provenance breakdowns).
+pub fn per_instance_power(
+    m: &MappedNetwork,
+    lib: &Library,
+    env: &PowerEnv,
+    model: TransitionModel,
+    po_load: f64,
+) -> Vec<f64> {
+    let n_pi = m.pi_names.len();
+    let slot = |r: &NetRef| match r {
+        NetRef::Pi(i) => *i,
+        NetRef::Inst(i) => n_pi + *i,
+    };
+    let mut load = vec![0.0f64; n_pi + m.instances.len()];
+    for inst in &m.instances {
+        let gate = &lib.gates()[inst.gate];
+        for (pin_idx, r) in inst.inputs.iter().enumerate() {
+            load[slot(r)] += gate.pin(pin_idx).input_cap;
+        }
+    }
+    for (_, r) in &m.outputs {
+        load[slot(r)] += po_load;
+    }
+    m.instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| env.average_power_uw(load[n_pi + i], model.switching(inst.p_one)))
+        .collect()
 }
 
 /// Result of glitch-aware power simulation.

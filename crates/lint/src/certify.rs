@@ -75,9 +75,17 @@ pub fn extract(net: &mut Network, max_rounds: usize) -> logicopt::ExtractReport 
 
 /// Certified [`logicopt::rugged_like`] (the whole script as one unit; the
 /// constituent passes re-lint individually when called through the
-/// wrappers above).
+/// wrappers above). When a [`qor::Session`] is live on this thread, a QoR
+/// snapshot is recorded after every constituent pass
+/// ([`logicopt::rugged_like_with`]'s hook), labelled
+/// `optimize.<round>.<pass>`, so each pass's power/area delta lands in the
+/// ledger individually.
 pub fn rugged_like(net: &mut Network) -> logicopt::ScriptReport {
-    certified_pass("rugged_like", net, logicopt::rugged_like)
+    certified_pass("rugged_like", net, |n| {
+        logicopt::rugged_like_with(n, &mut |label, after| {
+            qor::snapshot_network(&format!("optimize.{label}"), after);
+        })
+    })
 }
 
 /// Certified [`lowpower_core::decomp::decompose_network`]: in debug
@@ -109,6 +117,7 @@ pub fn decompose_network(net: &Network, opts: &DecompOptions) -> DecomposedNetwo
             after.render_text()
         );
     }
+    qor::snapshot_decomposed("decompose", &decomposed);
     decomposed
 }
 

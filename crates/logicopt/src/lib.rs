@@ -28,4 +28,4 @@ pub mod simplify;
 pub mod sweep;
 
 pub use extract::{extract, extract_power_aware, ExtractReport};
-pub use script::{rugged_like, ScriptReport};
+pub use script::{rugged_like, rugged_like_with, ScriptReport};

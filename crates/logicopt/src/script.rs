@@ -24,16 +24,32 @@ pub struct ScriptReport {
 /// twice. Every experiment in the paper starts from such an optimized
 /// network (its Section 4 uses the SIS rugged script for the same purpose).
 pub fn rugged_like(net: &mut Network) -> ScriptReport {
+    rugged_like_with(net, &mut |_, _| {})
+}
+
+/// [`rugged_like`] with a per-pass observer: `hook(label, net)` runs after
+/// each constituent pass with the network in its post-pass state. Labels
+/// are `"round.pass"` (e.g. `"1.sweep"`, `"2.extract"`), unique within one
+/// script run so QoR ledgers can attribute each pass's delta. The script
+/// itself is unchanged — [`rugged_like`] delegates here with a no-op hook.
+pub fn rugged_like_with(net: &mut Network, hook: &mut dyn FnMut(&str, &Network)) -> ScriptReport {
     let literals_before = net.literal_count();
     let nodes_before = net.logic_count();
     for round in 0..2 {
         let _round = obs::span!("rugged.round", "{}", round + 1);
+        let r = round + 1;
         sweep(net);
+        hook(&format!("{r}.sweep"), net);
         simplify_network(net);
+        hook(&format!("{r}.simplify"), net);
         eliminate(net, -1);
+        hook(&format!("{r}.eliminate"), net);
         extract(net, 0);
+        hook(&format!("{r}.extract"), net);
         simplify_network(net);
+        hook(&format!("{r}.resimplify"), net);
         sweep(net);
+        hook(&format!("{r}.resweep"), net);
     }
     ScriptReport {
         literals_before,

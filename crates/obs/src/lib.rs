@@ -52,7 +52,7 @@
 
 #![warn(missing_docs)]
 
-mod json;
+pub mod json;
 mod metrics;
 mod report;
 mod span;
@@ -342,6 +342,14 @@ pub fn hist_record(name: &'static str, v: u64) {
 /// Prefer the [`note!`] macro.
 pub fn note_line(line: String) {
     eprintln!("{line}");
+    note_event(line);
+}
+
+/// Record an instant note event **without** printing anywhere: used by
+/// structured emitters (the QoR ledger) whose lines ride the JSONL sink
+/// but must stay silent in ordinary text output. A no-op when the current
+/// thread is not recording. Prefer the [`note_event!`] macro.
+pub fn note_event(line: String) {
     if !enabled() {
         return;
     }
@@ -556,6 +564,18 @@ macro_rules! hist {
 macro_rules! note {
     ($($arg:tt)+) => {
         $crate::note_line(::std::format!($($arg)+))
+    };
+}
+
+/// Silent instant event: recorded in the event stream (JSONL `note` lines)
+/// when a session is live, printed nowhere. The format arguments are only
+/// evaluated when the process has a live session.
+#[macro_export]
+macro_rules! note_event {
+    ($($arg:tt)+) => {
+        if $crate::enabled() {
+            $crate::note_event(::std::format!($($arg)+))
+        }
     };
 }
 

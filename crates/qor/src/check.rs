@@ -1,0 +1,239 @@
+//! Strict validator for QoR ledger JSONL (the `--qor=json` sink format and
+//! the `qor` note events riding the obs trace).
+//!
+//! Mirrors `obs::check`: every line must be strict JSON of a known type,
+//! every run's summary must agree with its snapshot lines — including the
+//! telescoping identity (`delta == last − first`) — and no run may end
+//! without a summary.
+
+use crate::ledger::Metrics;
+use obs::json::{parse_json, Json};
+use std::collections::HashMap;
+
+/// Statistics of a successful [`check_jsonl`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Total lines validated.
+    pub lines: usize,
+    /// `"qor"` snapshot lines.
+    pub snapshot_lines: usize,
+    /// `"qor_summary"` lines (= completed runs).
+    pub runs: usize,
+}
+
+fn get_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string `{key}`"))
+}
+
+/// Validate a QoR ledger JSONL document.
+///
+/// Rules:
+/// * every non-empty line is strict JSON with `"type"` of `"qor"` or
+///   `"qor_summary"`;
+/// * `"qor"` lines carry `circuit`/`method`/`stage` strings, a `kind` of
+///   `"network"` or `"mapped"`, and the five integer metrics;
+/// * each `"qor_summary"` closes the run of its `circuit × method`: its
+///   `stages` count, `first`/`last` metrics, and `delta` must match the
+///   accumulated snapshot lines exactly (`delta == last − first`);
+/// * at end of input no run may remain open (snapshots without a summary).
+///
+/// # Errors
+/// Returns `Err` naming the first offending 1-based line.
+pub fn check_jsonl(text: &str) -> Result<CheckStats, String> {
+    let mut stats = CheckStats {
+        lines: 0,
+        snapshot_lines: 0,
+        runs: 0,
+    };
+    // (circuit, method) → metrics of the run's snapshot lines so far.
+    let mut open: HashMap<(String, String), Vec<Metrics>> = HashMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {lineno}: blank line"));
+        }
+        stats.lines += 1;
+        let j = parse_json(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let ty = get_str(&j, "type").map_err(|e| format!("line {lineno}: {e}"))?;
+        match ty {
+            "qor" => {
+                let key = (
+                    get_str(&j, "circuit")
+                        .map_err(|e| format!("line {lineno}: {e}"))?
+                        .to_string(),
+                    get_str(&j, "method")
+                        .map_err(|e| format!("line {lineno}: {e}"))?
+                        .to_string(),
+                );
+                get_str(&j, "stage").map_err(|e| format!("line {lineno}: {e}"))?;
+                let kind = get_str(&j, "kind").map_err(|e| format!("line {lineno}: {e}"))?;
+                if kind != "network" && kind != "mapped" {
+                    return Err(format!("line {lineno}: unknown kind `{kind}`"));
+                }
+                let m = Metrics::from_json(&j).map_err(|e| format!("line {lineno}: {e}"))?;
+                open.entry(key).or_default().push(m);
+                stats.snapshot_lines += 1;
+            }
+            "qor_summary" => {
+                let key = (
+                    get_str(&j, "circuit")
+                        .map_err(|e| format!("line {lineno}: {e}"))?
+                        .to_string(),
+                    get_str(&j, "method")
+                        .map_err(|e| format!("line {lineno}: {e}"))?
+                        .to_string(),
+                );
+                let snaps = open.remove(&key).unwrap_or_default();
+                let stages = j
+                    .get("stages")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("line {lineno}: missing `stages`"))?
+                    as usize;
+                if stages != snaps.len() {
+                    return Err(format!(
+                        "line {lineno}: summary claims {stages} stage(s) but {} qor line(s) \
+                         precede it for {} × {}",
+                        snaps.len(),
+                        key.0,
+                        key.1
+                    ));
+                }
+                if let (Some(first), Some(last)) = (snaps.first(), snaps.last()) {
+                    for (field, want) in [
+                        ("first", *first),
+                        ("last", *last),
+                        ("delta", last.delta(first)),
+                    ] {
+                        let got = j
+                            .get(field)
+                            .ok_or_else(|| format!("line {lineno}: missing `{field}`"))
+                            .and_then(|v| {
+                                Metrics::from_json(v).map_err(|e| format!("line {lineno}: {e}"))
+                            })?;
+                        if got != want {
+                            return Err(format!(
+                                "line {lineno}: `{field}` disagrees with the qor lines \
+                                 (got {got:?}, recomputed {want:?})"
+                            ));
+                        }
+                    }
+                } else if j.get("first").is_some() || j.get("delta").is_some() {
+                    return Err(format!(
+                        "line {lineno}: summary has metrics but no qor lines precede it"
+                    ));
+                }
+                stats.runs += 1;
+            }
+            other => return Err(format!("line {lineno}: unknown type `{other}`")),
+        }
+    }
+    if let Some(((circuit, method), snaps)) = open.into_iter().next() {
+        return Err(format!(
+            "unterminated run {circuit} × {method}: {} qor line(s) with no qor_summary",
+            snaps.len()
+        ));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::{LedgerReport, SnapKind, Snapshot};
+
+    fn sample_report() -> LedgerReport {
+        let m = |p: i64| Metrics {
+            power_muw: p,
+            area_milli: 2 * p,
+            delay_ps: 3000,
+            nodes: 4,
+            literals: 8,
+        };
+        LedgerReport {
+            circuit: "c".to_string(),
+            method: "IV".to_string(),
+            snapshots: vec![
+                Snapshot {
+                    stage: "initial".to_string(),
+                    kind: SnapKind::Network,
+                    metrics: m(900),
+                },
+                Snapshot {
+                    stage: "map".to_string(),
+                    kind: SnapKind::Mapped,
+                    metrics: m(700),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_ledger_passes() {
+        let stats = check_jsonl(&sample_report().render_jsonl()).unwrap();
+        assert_eq!(stats.lines, 3);
+        assert_eq!(stats.snapshot_lines, 2);
+        assert_eq!(stats.runs, 1);
+    }
+
+    #[test]
+    fn interleaved_runs_pass() {
+        let a = sample_report();
+        let mut b = sample_report();
+        b.method = "V".to_string();
+        // interleave a's and b's qor lines, summaries at the end
+        let mut lines: Vec<String> = Vec::new();
+        for (sa, sb) in a.snapshots.iter().zip(&b.snapshots) {
+            lines.push(sa.render_json(&a.circuit, &a.method));
+            lines.push(sb.render_json(&b.circuit, &b.method));
+        }
+        let ja = a.render_jsonl();
+        let jb = b.render_jsonl();
+        lines.push(ja.lines().last().unwrap().to_string());
+        lines.push(jb.lines().last().unwrap().to_string());
+        let text = lines.join("\n") + "\n";
+        assert_eq!(check_jsonl(&text).unwrap().runs, 2);
+    }
+
+    #[test]
+    fn tampered_delta_fails() {
+        let text = sample_report().render_jsonl();
+        // corrupt the delta's power field in the summary line
+        let tampered = text.replace(
+            "\"delta\":{\"power_muw\":-200",
+            "\"delta\":{\"power_muw\":-199",
+        );
+        assert_ne!(text, tampered, "replacement must hit");
+        let err = check_jsonl(&tampered).unwrap_err();
+        assert!(err.contains("delta"), "{err}");
+    }
+
+    #[test]
+    fn missing_summary_fails() {
+        let text = sample_report().render_jsonl();
+        let no_summary: String = text
+            .lines()
+            .filter(|l| !l.contains("qor_summary"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = check_jsonl(&no_summary).unwrap_err();
+        assert!(err.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn wrong_stage_count_fails() {
+        let text = sample_report().render_jsonl();
+        let tampered = text.replace("\"stages\":2", "\"stages\":3");
+        let err = check_jsonl(&tampered).unwrap_err();
+        assert!(err.contains("stage"), "{err}");
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(check_jsonl("not json\n").is_err());
+        assert!(check_jsonl("{\"type\":\"mystery\"}\n").is_err());
+        assert!(check_jsonl("{\"type\":\"qor\"}\n").is_err());
+        assert!(check_jsonl("\n").is_err());
+    }
+}

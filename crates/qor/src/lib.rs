@@ -1,0 +1,292 @@
+//! QoR ledger: per-stage power/delay attribution, node provenance, and
+//! baseline regression gating for the synthesis flow.
+//!
+//! Three concerns, one crate:
+//!
+//! * **Ledger** ([`Session`], [`LedgerReport`]) — a thread-local recording
+//!   session mirroring `obs::Session`. While a session is live, every call
+//!   to [`snapshot_network`] / [`snapshot_decomposed`] / [`snapshot_mapped`]
+//!   appends one deterministic [`Snapshot`] of quality-of-results metrics,
+//!   so each optimization pass, the decomposition, and the mapping get
+//!   their QoR delta attributed by name. All metrics are **fixed-point
+//!   integers** ([`Metrics`]): per-stage deltas are consecutive integer
+//!   differences, so they telescope — the sum of all deltas equals
+//!   `final − initial` *exactly*, and reports render byte-identically on
+//!   every run and thread count.
+//! * **Provenance** ([`Provenance`]) — resolves every mapped gate instance
+//!   back to the node of the optimized source network whose decomposition
+//!   produced it, and attributes per-gate power shares to those origins.
+//! * **Baselines** ([`Baseline`], [`baseline::diff`]) — canonical QoR
+//!   snapshots per `circuit × method`, serialized as strict JSON, diffed
+//!   with per-metric relative tolerances so CI can fail on QoR drift.
+//!
+//! When an `obs` session is also live, every snapshot rides the obs JSONL
+//! sink as a silent note event ([`obs::note_event`]), so one trace file
+//! carries both timing spans and QoR waterfalls.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod check;
+pub mod ledger;
+pub mod provenance;
+
+pub use baseline::{Baseline, BaselineEntry, Diff, DiffLine, Tolerance};
+pub use ledger::{fmt_milli, milli, LedgerReport, Metrics, SnapKind, Snapshot};
+pub use provenance::{cone_powers, GateShare, Provenance};
+
+use genlib::Library;
+use lowpower_core::decomp::DecomposedNetwork;
+use lowpower_core::map::MappedNetwork;
+use lowpower_core::power::evaluate;
+use netlist::Network;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+
+use activity::{PowerEnv, TransitionModel};
+
+/// Measurement context: everything a QoR snapshot needs besides the
+/// artifact itself. Matches the flow configuration so ledger numbers agree
+/// exactly with the flow's own evaluation.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// `P(pi = 1)` per primary input; `None` (or a length mismatch with
+    /// the measured network, e.g. after a pass dropped dead inputs) falls
+    /// back to 0.5 everywhere.
+    pub pi_probs: Option<Vec<f64>>,
+    /// Transition model for switching-activity estimation.
+    pub model: TransitionModel,
+    /// Electrical environment (voltage/frequency) for power numbers.
+    pub env: PowerEnv,
+    /// Capacitive load on every primary output of a mapped netlist.
+    pub po_load: f64,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx {
+            pi_probs: None,
+            model: TransitionModel::StaticCmos,
+            env: PowerEnv::new(),
+            po_load: 1.0,
+        }
+    }
+}
+
+impl Ctx {
+    fn probs_for(&self, n_pi: usize) -> Vec<f64> {
+        match &self.pi_probs {
+            Some(p) if p.len() == n_pi => p.clone(),
+            _ => vec![0.5; n_pi],
+        }
+    }
+}
+
+/// Measure an unmapped logic network.
+///
+/// Power is the activity-weighted proxy of eqs. 5–11: total switching of
+/// all logic nodes under `ctx`, each node charged one unit of capacitance
+/// (before mapping there are no real gate loads yet). Area is the
+/// SOP literal count, delay the unit-delay depth. Everything lands in
+/// fixed-point [`Metrics`] units.
+pub fn measure_network(net: &Network, ctx: &Ctx) -> Metrics {
+    let probs = ctx.probs_for(net.inputs().len());
+    let act = activity::analyze(net, &probs, ctx.model);
+    let total_switching = act.total_switching(net.logic_ids());
+    Metrics {
+        power_muw: milli(ctx.env.average_power_uw(1.0, total_switching)),
+        area_milli: net.literal_count() as i64 * 1000,
+        delay_ps: netlist::traversal::depth(net) * 1000,
+        nodes: net.logic_count() as i64,
+        literals: net.literal_count() as i64,
+    }
+}
+
+/// Measure a mapped netlist: the numbers of
+/// [`evaluate`](lowpower_core::power::evaluate) (zero-delay power, cell
+/// area, library-model delay, gate count) in fixed-point [`Metrics`]
+/// units; `literals` counts total gate input pins.
+pub fn measure_mapped(m: &MappedNetwork, lib: &Library, ctx: &Ctx) -> Metrics {
+    let rep = evaluate(m, lib, &ctx.env, ctx.model, ctx.po_load);
+    Metrics {
+        power_muw: milli(rep.power_uw),
+        area_milli: milli(rep.area),
+        delay_ps: milli(rep.delay),
+        nodes: rep.gate_count as i64,
+        literals: m.instances.iter().map(|i| i.inputs.len() as i64).sum(),
+    }
+}
+
+struct State {
+    ctx: Ctx,
+    circuit: String,
+    method: String,
+    snapshots: Vec<Snapshot>,
+}
+
+thread_local! {
+    static LEDGER: RefCell<Option<State>> = const { RefCell::new(None) };
+}
+
+/// `true` while a [`Session`] is recording on this thread.
+pub fn active() -> bool {
+    LEDGER.with(|l| l.borrow().is_some())
+}
+
+/// A live QoR recording session (thread-local, like `obs::Session`).
+///
+/// Snapshot calls are no-ops unless a session is live, so library code can
+/// emit snapshots unconditionally; whoever starts the session owns the
+/// resulting [`LedgerReport`].
+pub struct Session {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Session {
+    /// Start recording for one `circuit × method` run.
+    ///
+    /// # Panics
+    /// Panics if a session is already recording on this thread — nested
+    /// ledgers would silently interleave unrelated runs.
+    pub fn start(circuit: &str, method: &str, ctx: Ctx) -> Session {
+        LEDGER.with(|l| {
+            let mut slot = l.borrow_mut();
+            assert!(
+                slot.is_none(),
+                "qor: a ledger session is already recording on this thread"
+            );
+            *slot = Some(State {
+                ctx,
+                circuit: circuit.to_string(),
+                method: method.to_string(),
+                snapshots: Vec::new(),
+            });
+        });
+        Session {
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Stop recording and return the ledger.
+    pub fn finish(self) -> LedgerReport {
+        let state = LEDGER
+            .with(|l| l.borrow_mut().take())
+            .expect("qor session state");
+        std::mem::forget(self);
+        LedgerReport {
+            circuit: state.circuit,
+            method: state.method,
+            snapshots: state.snapshots,
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        LEDGER.with(|l| l.borrow_mut().take());
+    }
+}
+
+fn record(stage: &str, kind: SnapKind, measure: impl FnOnce(&Ctx) -> Metrics) {
+    LEDGER.with(|l| {
+        let mut slot = l.borrow_mut();
+        let Some(state) = slot.as_mut() else { return };
+        let snap = Snapshot {
+            stage: stage.to_string(),
+            kind,
+            metrics: measure(&state.ctx),
+        };
+        obs::counter!("qor.snapshots");
+        obs::note_event!("{}", snap.render_json(&state.circuit, &state.method));
+        state.snapshots.push(snap);
+    });
+}
+
+/// Record a snapshot of an unmapped network ([`measure_network`]) under
+/// `stage`. No-op when no session is live.
+pub fn snapshot_network(stage: &str, net: &Network) {
+    record(stage, SnapKind::Network, |ctx| measure_network(net, ctx));
+}
+
+/// Record a snapshot of a decomposition result (its network, via
+/// [`measure_network`]). No-op when no session is live.
+pub fn snapshot_decomposed(stage: &str, d: &DecomposedNetwork) {
+    record(stage, SnapKind::Network, |ctx| {
+        measure_network(&d.network, ctx)
+    });
+}
+
+/// Record a snapshot of a mapped netlist ([`measure_mapped`]) under
+/// `stage`. No-op when no session is live.
+pub fn snapshot_mapped(stage: &str, m: &MappedNetwork, lib: &Library) {
+    record(stage, SnapKind::Mapped, |ctx| measure_mapped(m, lib, ctx));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::parse_blif;
+
+    const SAMPLE: &str = ".model t\n.inputs a b c\n.outputs f\n.names a b x\n11 1\n\
+                          .names x c f\n1- 1\n-1 1\n.end\n";
+
+    #[test]
+    fn snapshots_are_noops_without_a_session() {
+        let net = parse_blif(SAMPLE).unwrap().network;
+        assert!(!active());
+        snapshot_network("nowhere", &net); // must not panic or record
+        assert!(!active());
+    }
+
+    #[test]
+    fn session_collects_snapshots_in_order() {
+        let net = parse_blif(SAMPLE).unwrap().network;
+        let s = Session::start("t", "V", Ctx::default());
+        assert!(active());
+        snapshot_network("initial", &net);
+        snapshot_network("after", &net);
+        let report = s.finish();
+        assert!(!active());
+        assert_eq!(report.circuit, "t");
+        assert_eq!(report.method, "V");
+        assert_eq!(report.snapshots.len(), 2);
+        assert_eq!(report.snapshots[0].stage, "initial");
+        // identical network => zero delta
+        let e2e = report.end_to_end().unwrap();
+        assert_eq!(e2e, Metrics::ZERO);
+    }
+
+    #[test]
+    fn dropped_session_clears_state() {
+        let s = Session::start("t", "I", Ctx::default());
+        drop(s);
+        assert!(!active());
+    }
+
+    #[test]
+    #[should_panic(expected = "already recording")]
+    fn nested_sessions_panic() {
+        let _a = Session::start("t", "I", Ctx::default());
+        let _b = Session::start("t", "II", Ctx::default());
+    }
+
+    #[test]
+    fn measure_network_is_deterministic() {
+        let net = parse_blif(SAMPLE).unwrap().network;
+        let ctx = Ctx::default();
+        assert_eq!(measure_network(&net, &ctx), measure_network(&net, &ctx));
+    }
+
+    #[test]
+    fn pi_prob_length_mismatch_falls_back() {
+        let net = parse_blif(SAMPLE).unwrap().network;
+        let bad = Ctx {
+            pi_probs: Some(vec![0.9]), // 3 PIs in SAMPLE
+            ..Ctx::default()
+        };
+        let a = measure_network(&net, &bad);
+        let b = measure_network(&net, &Ctx::default());
+        assert_eq!(a, b);
+    }
+}

@@ -126,6 +126,13 @@ pub struct FlowConfig {
     /// [`MethodResult::obs`]. The mode value itself selects the sink used
     /// by CLI drivers; the flow records identically for all three.
     pub obs: obs::ObsMode,
+    /// Record a QoR ledger for the run: [`run_flow`] / [`run_method`]
+    /// start a [`qor::Session`] (unless the caller already has one live on
+    /// this thread) and every stage — each rugged-script pass, the
+    /// decomposition, and the mapping — appends a deterministic snapshot.
+    /// The finished [`qor::LedgerReport`] lands in [`MethodResult::qor`]
+    /// when the flow owned the session.
+    pub qor: bool,
 }
 
 impl Default for FlowConfig {
@@ -144,7 +151,19 @@ impl Default for FlowConfig {
             verify: VerifyLevel::Off,
             lint: LintLevel::Off,
             obs: obs::ObsMode::Off,
+            qor: false,
         }
+    }
+}
+
+/// The QoR measurement context matching this flow configuration, so
+/// ledger numbers agree exactly with the flow's own evaluation.
+fn qor_ctx(cfg: &FlowConfig) -> qor::Ctx {
+    qor::Ctx {
+        pi_probs: cfg.pi_probs.clone(),
+        model: cfg.model,
+        env: cfg.env,
+        po_load: cfg.po_load,
     }
 }
 
@@ -365,6 +384,14 @@ pub struct MethodResult {
     /// `None` when a caller-owned session was already live (the caller
     /// finishes it and holds the report) or when observability is off.
     pub obs: Option<obs::Report>,
+    /// QoR ledger of the run, when [`FlowConfig::qor`] is set **and** the
+    /// flow owned the ledger session (same ownership rule as `obs`).
+    pub qor: Option<qor::LedgerReport>,
+    /// Provenance of the decomposition: resolves every mapped gate's
+    /// source node back to the optimized network
+    /// ([`qor::Provenance::resolve`]). Always populated — provenance
+    /// recording is free.
+    pub provenance: qor::Provenance,
 }
 
 /// Run one method on an **already optimized** network.
@@ -380,10 +407,32 @@ pub fn run_method(
 ) -> Result<MethodResult, FlowError> {
     if cfg.obs != obs::ObsMode::Off && !obs::active() {
         let session = obs::Session::start();
-        let result = run_method_inner(optimized, lib, method, cfg);
+        let result = run_method_qor(optimized, lib, method, cfg);
         let report = session.finish();
         return result.map(|mut r| {
             r.obs = Some(report);
+            r
+        });
+    }
+    run_method_qor(optimized, lib, method, cfg)
+}
+
+/// QoR-session ownership layer of [`run_method`]: starts a ledger session
+/// (initial snapshot = the optimized input) unless the caller already has
+/// one live on this thread.
+fn run_method_qor(
+    optimized: &Network,
+    lib: &Library,
+    method: Method,
+    cfg: &FlowConfig,
+) -> Result<MethodResult, FlowError> {
+    if cfg.qor && !qor::active() {
+        let session = qor::Session::start(optimized.name(), &method.to_string(), qor_ctx(cfg));
+        qor::snapshot_network("optimized", optimized);
+        let result = run_method_inner(optimized, lib, method, cfg);
+        let report = session.finish();
+        return result.map(|mut r| {
+            r.qor = Some(report);
             r
         });
     }
@@ -433,7 +482,9 @@ fn run_method_inner(
         };
         lint_checkpoint("decompose", report, cfg, &mut lint_findings)?;
     }
+    let provenance = qor::Provenance::from_decomposed(&decomposed);
     let (mappable, _const_outputs) = strip_constant_outputs(&decomposed.network);
+    qor::snapshot_network("strip_const", &mappable);
     let act = {
         let _s = obs::span!("activity");
         analyze(&mappable, &pi_probs, cfg.model)
@@ -460,6 +511,7 @@ fn run_method_inner(
         let _s = obs::span!("map");
         map_network(&aig, lib, &mopts)?
     };
+    qor::snapshot_mapped("map", &mapped, lib);
     if cfg.verify != VerifyLevel::Off {
         let view = mapped.to_network(lib, mappable.name());
         checkpoint("map", &mappable, &view, OutputPolicy::Exact, cfg)?;
@@ -496,6 +548,8 @@ fn run_method_inner(
         mapped,
         lint_findings,
         obs: None,
+        qor: None,
+        provenance,
     })
 }
 
@@ -511,10 +565,32 @@ pub fn run_flow(
 ) -> Result<MethodResult, FlowError> {
     if cfg.obs != obs::ObsMode::Off && !obs::active() {
         let session = obs::Session::start();
-        let result = run_flow_inner(net, lib, method, cfg);
+        let result = run_flow_qor(net, lib, method, cfg);
         let report = session.finish();
         return result.map(|mut r| {
             r.obs = Some(report);
+            r
+        });
+    }
+    run_flow_qor(net, lib, method, cfg)
+}
+
+/// QoR-session ownership layer of [`run_flow`]: the ledger opens on the
+/// raw input network (`"initial"` snapshot), so the optimization passes'
+/// deltas are attributed too.
+fn run_flow_qor(
+    net: &Network,
+    lib: &Library,
+    method: Method,
+    cfg: &FlowConfig,
+) -> Result<MethodResult, FlowError> {
+    if cfg.qor && !qor::active() {
+        let session = qor::Session::start(net.name(), &method.to_string(), qor_ctx(cfg));
+        qor::snapshot_network("initial", net);
+        let result = run_flow_inner(net, lib, method, cfg);
+        let report = session.finish();
+        return result.map(|mut r| {
+            r.qor = Some(report);
             r
         });
     }

@@ -14,6 +14,7 @@ pub use logicopt;
 pub use lowpower_core as core;
 pub use netlist;
 pub use obs;
+pub use qor;
 pub use verify;
 
 pub mod flow;

@@ -10,6 +10,10 @@
 //! lowpower lint   --blif CIRCUIT.blif [--lib LIB.genlib] [--method VI]
 //!                 [--style …] [--lint=deny] [--json]
 //! lowpower obs-check [--file TRACE] [--chrome] [--strip]
+//! lowpower explain --blif CIRCUIT.blif --node NAME [--method VI] [--lib LIB.genlib]
+//! lowpower qor-baseline --blif A.blif [--blif B.blif ...] [--out FILE]
+//! lowpower qor-diff --baseline FILE --against FILE [--tol REL]
+//! lowpower qor-check [--file LEDGER.jsonl]
 //! ```
 //!
 //! `synth` runs optimize → decompose → map → evaluate for one method and
@@ -42,6 +46,20 @@
 //! stays clean. `obs-check` validates a recorded stream (`--chrome` for
 //! traces) and with `--strip` prints the timing-stripped snapshot used
 //! for determinism diffs.
+//!
+//! `--qor[=text|json|gate]` records a QoR ledger for `synth`: one
+//! deterministic snapshot after every optimization pass, the
+//! decomposition, and the mapping, each stage's power/area/delay delta
+//! attributed by name. `text` prints the waterfall, `json` emits strict
+//! JSONL (validated by `qor-check`), and `gate` additionally compares the
+//! final QoR against the committed baseline (`--qor-baseline FILE`,
+//! default `results/qor_baseline.json`) with relative tolerance `--tol`
+//! (default 0) and fails on drift. `--qor-out FILE` redirects the ledger.
+//! `qor-baseline` runs all six methods on each `--blif` and writes the
+//! canonical baseline JSON; `qor-diff` compares two baseline files.
+//! `explain` resolves one optimized-network node: its slack, its
+//! decomposition choice (height, applied bound, emitted nodes), and the
+//! mapped gates — with power shares — that trace back to it.
 
 use genlib::{builtin::lib2_like, Library};
 use lowpower::flow::{optimize, run_method, FlowConfig, Method, StageLint};
@@ -63,13 +81,34 @@ fn main() -> ExitCode {
             eprintln!("  lowpower decomp --blif FILE [--style conventional|minpower|bounded]");
             eprintln!("  lowpower lint   --blif FILE [--lib FILE] [--method I..VI] [--style ...] [--lint=deny] [--json] [--obs[=...]] [--obs-out FILE]");
             eprintln!("  lowpower obs-check [--file TRACE] [--chrome] [--strip]");
+            eprintln!("  lowpower explain --blif FILE --node NAME [--method I..VI] [--lib FILE]");
+            eprintln!("  lowpower qor-baseline --blif FILE [--blif FILE ...] [--out FILE]");
+            eprintln!("  lowpower qor-diff --baseline FILE --against FILE [--tol REL]");
+            eprintln!("  lowpower qor-check [--file LEDGER.jsonl]");
+            eprintln!("  synth also accepts: --qor[=text|json|gate] [--qor-out FILE] [--qor-baseline FILE] [--tol REL]");
             ExitCode::from(2)
         }
     }
 }
 
+/// QoR ledger mode of the `synth` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QorMode {
+    Off,
+    /// Print the per-stage waterfall.
+    Text,
+    /// Emit the ledger as strict JSONL (`qor-check` validates it).
+    Json,
+    /// `Text`, plus fail the run when the final QoR drifts from the
+    /// committed baseline.
+    Gate,
+}
+
 struct Opts {
     blif: Option<String>,
+    /// Every `--blif` in order (the subcommands that take one use the
+    /// first; `qor-baseline` uses all).
+    blifs: Vec<String>,
     lib: Option<String>,
     method: Method,
     required: Option<f64>,
@@ -84,11 +123,18 @@ struct Opts {
     file: Option<String>,
     chrome: bool,
     strip: bool,
+    qor: QorMode,
+    qor_out: Option<String>,
+    baseline: Option<String>,
+    against: Option<String>,
+    tol: Option<f64>,
+    node: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts {
         blif: None,
+        blifs: Vec::new(),
         lib: None,
         method: Method::VI,
         required: None,
@@ -103,6 +149,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         file: None,
         chrome: false,
         strip: false,
+        qor: QorMode::Off,
+        qor_out: None,
+        baseline: None,
+        against: None,
+        tol: None,
+        node: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -112,7 +164,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         };
         match args[i].as_str() {
             "--blif" => {
-                o.blif = Some(need(i)?.clone());
+                let v = need(i)?.clone();
+                o.blif.get_or_insert_with(|| v.clone());
+                o.blifs.push(v);
                 i += 1;
             }
             "--lib" => {
@@ -162,36 +216,76 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--chrome" => o.chrome = true,
             "--strip" => o.strip = true,
-            other => match (
-                other.strip_prefix("--verify="),
-                other.strip_prefix("--lint="),
-                other.strip_prefix("--obs="),
-            ) {
-                (Some(level), ..) => o.verify = level.parse()?,
-                (_, Some(level), _) => o.lint = level.parse()?,
-                (_, _, Some(mode)) => o.obs = mode.parse()?,
-                _ => return Err(format!("unknown option `{other}`")),
-            },
+            "--qor" => o.qor = QorMode::Text,
+            "--qor-out" => {
+                o.qor_out = Some(need(i)?.clone());
+                i += 1;
+            }
+            "--qor-baseline" | "--baseline" => {
+                o.baseline = Some(need(i)?.clone());
+                i += 1;
+            }
+            "--against" => {
+                o.against = Some(need(i)?.clone());
+                i += 1;
+            }
+            "--tol" => {
+                o.tol = Some(
+                    need(i)?
+                        .parse()
+                        .map_err(|_| "bad --tol value".to_string())?,
+                );
+                i += 1;
+            }
+            "--node" => {
+                o.node = Some(need(i)?.clone());
+                i += 1;
+            }
+            other => {
+                if let Some(level) = other.strip_prefix("--verify=") {
+                    o.verify = level.parse()?;
+                } else if let Some(level) = other.strip_prefix("--lint=") {
+                    o.lint = level.parse()?;
+                } else if let Some(mode) = other.strip_prefix("--obs=") {
+                    o.obs = mode.parse()?;
+                } else if let Some(mode) = other.strip_prefix("--qor=") {
+                    o.qor = match mode {
+                        "text" => QorMode::Text,
+                        "json" => QorMode::Json,
+                        "gate" => QorMode::Gate,
+                        "off" => QorMode::Off,
+                        other => return Err(format!("unknown qor mode `{other}`")),
+                    };
+                } else {
+                    return Err(format!("unknown option `{other}`"));
+                }
+            }
         }
         i += 1;
     }
     Ok(o)
 }
 
-fn load_inputs(o: &Opts) -> Result<(netlist::Network, Library), String> {
-    let path = o.blif.as_ref().ok_or("--blif is required")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let net = netlist::parse_blif(&text)
-        .map_err(|e| format!("{path}: {e}"))?
-        .network;
-    let lib = match &o.lib {
+fn load_lib(o: &Opts) -> Result<Library, String> {
+    match &o.lib {
         Some(lp) => {
             let lt = std::fs::read_to_string(lp).map_err(|e| format!("reading {lp}: {e}"))?;
-            Library::parse(&lt).map_err(|e| format!("{lp}: {e}"))?
+            Library::parse(&lt).map_err(|e| format!("{lp}: {e}"))
         }
-        None => lib2_like(),
-    };
-    Ok((net, lib))
+        None => Ok(lib2_like()),
+    }
+}
+
+fn load_blif(path: &str) -> Result<netlist::Network, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(netlist::parse_blif(&text)
+        .map_err(|e| format!("{path}: {e}"))?
+        .network)
+}
+
+fn load_inputs(o: &Opts) -> Result<(netlist::Network, Library), String> {
+    let path = o.blif.as_ref().ok_or("--blif is required")?;
+    Ok((load_blif(path)?, load_lib(o)?))
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -202,6 +296,12 @@ fn run(args: &[String]) -> Result<(), String> {
     if cmd == "obs-check" {
         return obs_check(&o);
     }
+    if cmd == "qor-check" {
+        return qor_check(&o);
+    }
+    if cmd == "qor-diff" {
+        return qor_diff(&o);
+    }
     // The CLI owns the obs session so one recording covers the whole
     // subcommand (including the multi-method `report` loop); `flow` sees
     // it active and does not start its own.
@@ -211,6 +311,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "report" => report(&o),
         "decomp" => decomp(&o),
         "lint" => lint_cmd(&o),
+        "explain" => explain(&o),
+        "qor-baseline" => qor_baseline(&o),
         other => Err(format!("unknown subcommand `{other}`")),
     };
     if let Some(session) = session {
@@ -328,11 +430,28 @@ fn synth(o: &Opts) -> Result<(), String> {
         verify: o.verify,
         lint: o.lint,
         obs: o.obs,
+        qor: o.qor != QorMode::Off,
         ..FlowConfig::default()
     };
+    // The CLI owns the qor session (like the obs one) so the ledger opens
+    // on the raw input network and covers the stand-alone optimize step
+    // below; `run_method` sees it active and rides along.
+    let qsession = (o.qor != QorMode::Off).then(|| {
+        lowpower::qor::Session::start(net.name(), &o.method.to_string(), qor_cli_ctx(&cfg))
+    });
+    if qsession.is_some() {
+        lowpower::qor::snapshot_network("initial", &net);
+    }
     let optimized = optimize(&net);
     check_optimize(&net, &optimized, o.verify)?;
     let r = run_method(&optimized, &lib, o.method, &cfg).map_err(|e| e.to_string())?;
+    if let Some(session) = qsession {
+        let ledger = session.finish();
+        write_qor_ledger(o, &ledger)?;
+        if o.qor == QorMode::Gate {
+            qor_gate(o, &ledger)?;
+        }
+    }
     print_findings(&r.lint_findings, false, stdout_owned_by_obs(o));
     say(format!(
         "circuit   : {} ({} PIs, {} POs)",
@@ -510,5 +629,228 @@ fn lint_cmd(o: &Opts) -> Result<(), String> {
     if o.lint == LintLevel::Deny && errors > 0 {
         return Err(format!("lint found {errors} error-severity finding(s)"));
     }
+    Ok(())
+}
+
+/// The QoR measurement context matching a flow configuration.
+fn qor_cli_ctx(cfg: &FlowConfig) -> lowpower::qor::Ctx {
+    lowpower::qor::Ctx {
+        pi_probs: cfg.pi_probs.clone(),
+        model: cfg.model,
+        env: cfg.env,
+        po_load: cfg.po_load,
+    }
+}
+
+/// Write the finished ledger per `--qor` / `--qor-out`: the text waterfall
+/// defaults to stderr (it is diagnostics, like the obs summary), JSONL to
+/// stdout unless an obs machine sink owns it; `--qor-out -` forces stdout
+/// and any other value names a file.
+fn write_qor_ledger(o: &Opts, ledger: &lowpower::qor::LedgerReport) -> Result<(), String> {
+    let text = match o.qor {
+        QorMode::Off => return Ok(()),
+        QorMode::Json => ledger.render_jsonl(),
+        QorMode::Text | QorMode::Gate => ledger.render_text(),
+    };
+    match o.qor_out.as_deref() {
+        Some("-") => print!("{text}"),
+        Some(path) => std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?,
+        None if o.qor == QorMode::Json && !stdout_owned_by_obs(o) => print!("{text}"),
+        None => eprint!("{text}"),
+    }
+    Ok(())
+}
+
+/// The `--qor=gate` check of `synth`: compare the run's final QoR against
+/// the committed baseline entry for this `circuit × method` with relative
+/// tolerance `--tol` (default 0, exact) and fail on drift.
+fn qor_gate(o: &Opts, ledger: &lowpower::qor::LedgerReport) -> Result<(), String> {
+    use lowpower::qor::{baseline, Baseline, Tolerance};
+    let path = o.baseline.as_deref().unwrap_or("results/qor_baseline.json");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let base = Baseline::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let metrics = ledger
+        .final_metrics()
+        .ok_or("qor gate: the ledger recorded no snapshots")?;
+    let entry = base.get(&ledger.circuit, &ledger.method).ok_or_else(|| {
+        format!(
+            "qor gate: no baseline entry for {} × {} in {path} (regenerate with `lowpower qor-baseline`)",
+            ledger.circuit, ledger.method
+        )
+    })?;
+    let mut want = Baseline::new();
+    want.insert(&ledger.circuit, &ledger.method, *entry);
+    let mut got = Baseline::new();
+    got.insert(&ledger.circuit, &ledger.method, metrics);
+    let d = baseline::diff(&want, &got, &Tolerance::uniform(o.tol.unwrap_or(0.0)));
+    if !d.passed() {
+        return Err(format!("qor gate failed vs {path}:\n{}", d.render_text()));
+    }
+    eprintln!(
+        "qor gate ok: {} × {} matches {path}",
+        ledger.circuit, ledger.method
+    );
+    Ok(())
+}
+
+/// `qor-baseline`: run all six methods on every `--blif` and write the
+/// canonical baseline JSON (final mapped QoR per `circuit × method`).
+fn qor_baseline(o: &Opts) -> Result<(), String> {
+    use lowpower::flow::run_flow;
+    use lowpower::qor::Baseline;
+    if o.blifs.is_empty() {
+        return Err("--blif is required (repeat it for several circuits)".to_string());
+    }
+    let lib = load_lib(o)?;
+    let cfg = FlowConfig {
+        required_time: o.required,
+        use_correlations: o.correlations,
+        ..FlowConfig::default()
+    };
+    let ctx = qor_cli_ctx(&cfg);
+    let mut baseline = Baseline::new();
+    for path in &o.blifs {
+        let net = load_blif(path)?;
+        for m in Method::ALL {
+            let r = run_flow(&net, &lib, m, &cfg)
+                .map_err(|e| format!("{}: method {m}: {e}", net.name()))?;
+            let metrics = lowpower::qor::measure_mapped(&r.mapped, &lib, &ctx);
+            baseline.insert(net.name(), &m.to_string(), metrics);
+        }
+        eprintln!("measured {} (6 methods)", net.name());
+    }
+    let out = o.out.as_deref().unwrap_or("results/qor_baseline.json");
+    std::fs::write(out, baseline.render_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("wrote {} entries to {out}", baseline.entries.len());
+    Ok(())
+}
+
+/// `qor-diff`: compare two baseline files with a relative tolerance.
+fn qor_diff(o: &Opts) -> Result<(), String> {
+    use lowpower::qor::{baseline, Baseline, Tolerance};
+    let bpath = o.baseline.as_deref().ok_or("--baseline is required")?;
+    let apath = o.against.as_deref().ok_or("--against is required")?;
+    let read = |p: &str| -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+        Baseline::parse(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let base = read(bpath)?;
+    let against = read(apath)?;
+    let d = baseline::diff(&base, &against, &Tolerance::uniform(o.tol.unwrap_or(0.0)));
+    eprint!("{}", d.render_text());
+    if !d.passed() {
+        return Err(format!("qor drift detected ({} problem(s))", d.failures()));
+    }
+    Ok(())
+}
+
+/// `qor-check`: strictly validate a QoR ledger JSONL stream from `--file`
+/// (default: stdin), including the telescoping identity of every summary.
+fn qor_check(o: &Opts) -> Result<(), String> {
+    let text = match o.file.as_deref() {
+        None | Some("-") => {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            buf
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+    };
+    let stats = lowpower::qor::check::check_jsonl(&text)?;
+    eprintln!(
+        "qor ledger ok: {} line(s), {} snapshot(s), {} run(s)",
+        stats.lines, stats.snapshot_lines, stats.runs
+    );
+    Ok(())
+}
+
+/// `explain`: resolve one optimized-network node — slack, decomposition
+/// choice, and the mapped gates (with power shares) that trace back to it.
+fn explain(o: &Opts) -> Result<(), String> {
+    let node = o.node.as_deref().ok_or("--node is required")?;
+    let (net, lib) = load_inputs(o)?;
+    let cfg = FlowConfig {
+        required_time: o.required,
+        use_correlations: o.correlations,
+        ..FlowConfig::default()
+    };
+    let optimized = optimize(&net);
+    let Some(id) = optimized.find(node) else {
+        return Err(format!(
+            "node `{node}` not found in the optimized network of `{}` \
+             (it may have been swept or collapsed by the rugged script)",
+            net.name()
+        ));
+    };
+    let is_pi = optimized.node(id).is_input();
+    let depth = netlist::traversal::depth(&optimized);
+    let pi_arrival = vec![0i64; optimized.inputs().len()];
+    let po_required = vec![depth; optimized.outputs().len()];
+    let arrivals = netlist::traversal::unit_arrival_times(&optimized, &pi_arrival);
+    let slacks = netlist::traversal::unit_slacks(&optimized, &pi_arrival, &po_required);
+
+    let r = run_method(&optimized, &lib, o.method, &cfg).map_err(|e| e.to_string())?;
+    let prov = &r.provenance;
+    let shares = prov.gate_shares(&r.mapped, &lib, &qor_cli_ctx(&cfg));
+    let total_power: f64 = shares.iter().map(|s| s.power_uw).sum();
+    let mine: Vec<_> = shares.iter().filter(|s| s.origin == node).collect();
+    let mine_power: f64 = mine.iter().map(|s| s.power_uw).sum();
+
+    println!(
+        "node      : {node} ({})",
+        if is_pi { "primary input" } else { "logic" }
+    );
+    println!(
+        "method    : {} ({:?} decomposition, {:?} mapping)",
+        o.method,
+        o.method.decomp_style(),
+        o.method.map_objective()
+    );
+    let slack = slacks[id.index()];
+    if slack == i64::MAX {
+        println!(
+            "timing    : arrival level {}, unconstrained (reaches no output)",
+            arrivals[id.index()]
+        );
+    } else {
+        println!(
+            "timing    : arrival level {} of {depth}, slack {slack}",
+            arrivals[id.index()]
+        );
+    }
+    if let Some((root, balanced)) = prov.height(node) {
+        println!(
+            "decomp    : root arrival {root}, balanced height {balanced}, surplus {}",
+            root.saturating_sub(balanced)
+        );
+    } else if !is_pi {
+        println!("decomp    : passed through undecomposed");
+    }
+    if let Some(bound) = prov.bound(node) {
+        println!("bound     : root arrival bounded to {bound} levels");
+    }
+    let emitted = prov.subject_count(node);
+    if emitted > 0 {
+        println!("emitted   : {emitted} subject node(s) in the decomposed network");
+    }
+    if mine.is_empty() {
+        println!("gates     : none (absorbed into neighbouring gates' covers)");
+    } else {
+        println!("gates     : {}", mine.len());
+        for s in &mine {
+            println!(
+                "  {:<16} {:<10} covers {:<16} {:>9.3} µW",
+                s.instance, s.gate, s.subject, s.power_uw
+            );
+        }
+    }
+    let pct = if total_power > 0.0 {
+        100.0 * mine_power / total_power
+    } else {
+        0.0
+    };
+    println!("power     : {mine_power:.3} µW of {total_power:.3} µW total ({pct:.1}%)");
     Ok(())
 }

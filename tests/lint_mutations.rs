@@ -196,6 +196,7 @@ fn clean_mapped() -> MappedNetwork {
             gate: 1,
             inputs: vec![NetRef::Pi(0), NetRef::Pi(1)],
             p_one: 0.25,
+            source: "f".to_string(),
         }],
         pi_names: vec!["a".to_string(), "b".to_string()],
         pi_p_one: vec![0.5, 0.5],
@@ -241,6 +242,7 @@ fn map003_fires_on_dead_instance() {
         gate: 0,
         inputs: vec![NetRef::Pi(0)],
         p_one: 0.5,
+        source: "g1".to_string(),
     }); // drives nothing
     assert_fires(&lint_mapped(&m, &tiny_lib(), 1.0, &cfg()), "MAP003");
 }
@@ -291,6 +293,7 @@ fn clean_decomposed() -> DecomposedNetwork {
         node_heights: vec![("f".to_string(), 1, 1)],
         applied_bounds: HashMap::new(),
         depth,
+        provenance: HashMap::new(),
     }
 }
 
@@ -316,6 +319,7 @@ fn dec001_fires_on_wide_gate() {
         node_heights: vec![],
         applied_bounds: HashMap::new(),
         depth,
+        provenance: HashMap::new(),
     };
     let report = lint_decomposed(&decomp, &cfg());
     assert_fires(&report, "DEC001");

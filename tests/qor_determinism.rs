@@ -1,0 +1,158 @@
+//! Determinism and exactness of the QoR ledger.
+//!
+//! The ledger's contract is that it is a pure function of the flow's
+//! inputs: byte-identical renders regardless of thread count or repeat
+//! runs, and per-stage deltas that telescope **exactly** (fixed-point
+//! integers, no float drift) to the end-to-end delta. These tests pin
+//! that contract across the full circuit × method matrix, plus the
+//! provenance guarantee that every mapped gate resolves to a node of the
+//! optimized network, and the ε = 0.5 mapping regression on s510 (a
+//! same-node-augmentation curve dead-end that used to make every phase
+//! assignment infeasible).
+
+use activity::{analyze, TransitionModel};
+use genlib::builtin::lib2_like;
+use lowpower::flow::{optimize, run_flow, strip_constant_outputs, FlowConfig, Method};
+use lowpower_core::decomp::{decompose_network, DecompOptions, DecompStyle};
+use lowpower_core::map::{map_network, MapOptions, SubjectAig};
+use qor::Metrics;
+
+fn qor_cfg(sim_threads: usize) -> FlowConfig {
+    FlowConfig {
+        qor: true,
+        sim_vectors: 256,
+        sim_threads,
+        ..FlowConfig::default()
+    }
+}
+
+#[test]
+fn ledgers_thread_invariant_and_repeatable() {
+    let lib = lib2_like();
+    for name in ["s208", "cm42a", "x2"] {
+        let net = benchgen::suite_circuit(name);
+        for m in Method::ALL {
+            let runs: Vec<(String, String)> = [1, 4, 1]
+                .iter()
+                .map(|&t| {
+                    let r = run_flow(&net, &lib, m, &qor_cfg(t))
+                        .unwrap_or_else(|e| panic!("method {m} failed on {name}: {e}"));
+                    let ledger = r.qor.expect("cfg.qor=true yields a ledger");
+                    (ledger.render_text(), ledger.render_jsonl())
+                })
+                .collect();
+            for (text, jsonl) in &runs[1..] {
+                assert_eq!(
+                    text, &runs[0].0,
+                    "{name}/{m}: ledger text differs across runs/threads"
+                );
+                assert_eq!(
+                    jsonl, &runs[0].1,
+                    "{name}/{m}: ledger JSONL differs across runs/threads"
+                );
+            }
+            qor::check::check_jsonl(&runs[0].1)
+                .unwrap_or_else(|e| panic!("{name}/{m}: invalid ledger JSONL: {e}"));
+        }
+    }
+}
+
+#[test]
+fn per_stage_deltas_telescope_exactly() {
+    let lib = lib2_like();
+    for name in ["s208", "cm42a", "x2"] {
+        let net = benchgen::suite_circuit(name);
+        for m in Method::ALL {
+            let r = run_flow(&net, &lib, m, &qor_cfg(1))
+                .unwrap_or_else(|e| panic!("method {m} failed on {name}: {e}"));
+            let ledger = r.qor.expect("ledger");
+            assert!(
+                ledger.snapshots.len() >= 5,
+                "{name}/{m}: expected initial + per-pass + decompose + map \
+                 snapshots, got {}",
+                ledger.snapshots.len()
+            );
+            let folded = ledger
+                .deltas()
+                .iter()
+                .fold(Metrics::ZERO, |acc, (_, d)| acc.plus(d));
+            let end = ledger.end_to_end().expect("at least two snapshots");
+            assert_eq!(
+                folded, end,
+                "{name}/{m}: per-stage deltas do not sum to the end-to-end delta"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_mapped_gate_resolves_to_an_optimized_node() {
+    let lib = lib2_like();
+    for name in ["s208", "cm42a", "x2"] {
+        let net = benchgen::suite_circuit(name);
+        let optimized = optimize(&net);
+        let mut known: Vec<String> = optimized
+            .node_ids()
+            .map(|id| optimized.node(id).name().to_string())
+            .collect();
+        known.extend(
+            optimized
+                .inputs()
+                .iter()
+                .map(|id| optimized.node(*id).name().to_string()),
+        );
+        for m in Method::ALL {
+            let r = run_flow(&net, &lib, m, &qor_cfg(1))
+                .unwrap_or_else(|e| panic!("method {m} failed on {name}: {e}"));
+            for inst in &r.mapped.instances {
+                let origin = r.provenance.resolve(&inst.source);
+                assert!(
+                    known.iter().any(|k| k == origin),
+                    "{name}/{m}: gate {} (subject {}) resolved to `{origin}`, \
+                     which is not a node of the optimized network",
+                    inst.name,
+                    inst.source
+                );
+            }
+        }
+    }
+}
+
+/// Regression: mapping s510 with a wide power window (ε = 0.5) used to
+/// fail with "no feasible match" because pruning could leave a phase
+/// curve populated only by same-node augmentation points, a dead end no
+/// downstream match can build on. The mapper now re-inserts the cheapest
+/// raw point exempt from pruning; the map must succeed and the ledger
+/// must record the mapped snapshot.
+#[test]
+fn s510_maps_at_wide_epsilon() {
+    let lib = lib2_like();
+    let net = benchgen::suite_circuit("s510");
+    let optimized = optimize(&net);
+    let dopts = DecompOptions {
+        style: DecompStyle::MinPower,
+        model: TransitionModel::StaticCmos,
+        pi_probs: None,
+        required_time: None,
+        use_correlations: false,
+    };
+    let session = qor::Session::start("s510", "eps0.5", qor::Ctx::default());
+    let decomposed = decompose_network(&optimized, &dopts);
+    qor::snapshot_decomposed("decompose", &decomposed);
+    let (mappable, _) = strip_constant_outputs(&decomposed.network);
+    let probs = vec![0.5; mappable.inputs().len()];
+    let act = analyze(&mappable, &probs, TransitionModel::StaticCmos);
+    let aig = SubjectAig::from_network(&mappable, &act).expect("subject");
+    let mopts = MapOptions {
+        epsilon: 0.5,
+        ..MapOptions::power()
+    };
+    let mapped = map_network(&aig, &lib, &mopts)
+        .expect("s510 must map at epsilon = 0.5 (raw-point restoration)");
+    qor::snapshot_mapped("map", &mapped, &lib);
+    let ledger = session.finish();
+    assert!(
+        ledger.snapshots.iter().any(|s| s.stage == "map"),
+        "ledger missing the map snapshot"
+    );
+}
